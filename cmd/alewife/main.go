@@ -1,0 +1,108 @@
+// Command alewife runs a single simulation of the Alewife machine under a
+// chosen coherence scheme and workload and prints the result.
+//
+// Usage:
+//
+//	alewife [-scheme limitless] [-pointers 4] [-ts 50] [-procs 64]
+//	        [-workload weather|weather-opt|multigrid|synthetic|migratory|locks|prodcons]
+//	        [-workerset 8] [-contexts 1] [-trace file] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	limitless "limitless"
+)
+
+var (
+	schemeFlag   = flag.String("scheme", "limitless", "full-map, limited, limitless, software-only, private-only, chained")
+	pointersFlag = flag.Int("pointers", 4, "hardware directory pointers (the i of Dir_iNB / LimitLESS_i)")
+	tsFlag       = flag.Int64("ts", 50, "T_s: software trap service latency in cycles")
+	procsFlag    = flag.Int("procs", 64, "processor count")
+	wlFlag       = flag.String("workload", "weather", "weather, weather-opt, multigrid, synthetic, migratory, locks, prodcons")
+	wsFlag       = flag.Int("workerset", 8, "worker-set size for the synthetic workload")
+	ctxFlag      = flag.Int("contexts", 1, "processor hardware contexts")
+	traceFlag    = flag.String("trace", "", "replay a trace file instead of a built-in workload")
+	verifyFlag   = flag.Bool("verify", false, "run the coherence checker after the workload finishes")
+)
+
+func main() {
+	flag.Parse()
+
+	cfg := limitless.Config{
+		Procs:       *procsFlag,
+		Scheme:      limitless.Scheme(*schemeFlag),
+		Pointers:    *pointersFlag,
+		TrapService: *tsFlag,
+		Contexts:    *ctxFlag,
+		Verify:      *verifyFlag,
+	}
+
+	var wl limitless.Workload
+	if *traceFlag != "" {
+		f, err := os.Open(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		wl, err = limitless.FromTrace(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Procs = wl.Procs()
+	} else {
+		switch *wlFlag {
+		case "weather":
+			wl = limitless.Weather(*procsFlag)
+		case "weather-opt":
+			wl = limitless.WeatherOptimized(*procsFlag)
+		case "multigrid":
+			wl = limitless.Multigrid(*procsFlag)
+		case "synthetic":
+			wl = limitless.Synthetic(*procsFlag, *wsFlag)
+		case "migratory":
+			wl = limitless.Migratory(*procsFlag, 2)
+		case "locks":
+			cfg.FIFOLocks = []limitless.Addr{limitless.LockAddr()}
+			wl = limitless.LockContention(*procsFlag, 4)
+		case "prodcons":
+			cfg.UpdateMode = []limitless.Addr{limitless.ProducerConsumerAddr()}
+			wl = limitless.ProducerConsumer(*procsFlag, 4)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wlFlag)
+			os.Exit(2)
+		}
+	}
+
+	res, err := limitless.Run(cfg, wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine:   %d processors, %s with %d pointers, T_s=%d, %d context(s)\n",
+		cfg.Procs, cfg.Scheme, cfg.Pointers, cfg.TrapService, maxInt(cfg.Contexts, 1))
+	fmt.Printf("cycles:    %d (%.3f Mcycles)\n", res.Cycles, float64(res.Cycles)/1e6)
+	fmt.Printf("T_h:       %.1f cycles average remote access latency\n", res.AvgRemoteLatency)
+	fmt.Printf("hit rate:  %.3f\n", res.HitRate)
+	fmt.Printf("misses:    %d remote, %d local\n", res.RemoteMisses, res.LocalMisses)
+	fmt.Printf("messages:  %d protocol messages, %d invalidations\n", res.Messages, res.Invalidations)
+	fmt.Printf("software:  %d traps (m=%.3f), %d trap cycles\n", res.Traps, res.SoftwareFraction, res.TrapCycles)
+	fmt.Printf("pressure:  %d pointer overflows, %d evictions, %d busies, %d retries\n",
+		res.PointerOverflows, res.Evictions, res.Busies, res.Retries)
+	fmt.Printf("network:   %.1f cycles average packet latency\n", res.NetworkAvgLatency)
+	if res.ContextSwitches > 0 {
+		fmt.Printf("switches:  %d context switches\n", res.ContextSwitches)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+// Command tracegen generates a uniprocessor trace with embedded
+// synchronization information (Section 5.1) for the post-mortem scheduler.
+//
+// Usage:
+//
+//	tracegen [-threads 64] [-phases 4] [-hotreads 4] [-optimize] [-o weather.trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"limitless/internal/trace"
+)
+
+var (
+	threadsFlag = flag.Int("threads", 64, "trace threads (one per simulated processor)")
+	phasesFlag  = flag.Int("phases", 4, "barrier-separated phases")
+	hotFlag     = flag.Int("hotreads", 4, "hot-variable reads per thread per phase")
+	optFlag     = flag.Bool("optimize", false, "flag the hot variable read-only (the paper's optimization)")
+	outFlag     = flag.String("o", "weather.trace", "output file")
+)
+
+func main() {
+	flag.Parse()
+	cfg := trace.DefaultGen(*threadsFlag)
+	cfg.Phases = *phasesFlag
+	cfg.HotReads = *hotFlag
+	cfg.OptimizeHot = *optFlag
+	events := trace.Generate(cfg)
+	if err := trace.Validate(events); err != nil {
+		fmt.Fprintln(os.Stderr, "generated trace invalid:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.Write(f, events); err != nil {
+		fmt.Fprintln(os.Stderr, "writing trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d events, %d threads, %d phases to %s\n",
+		len(events), trace.Threads(events), *phasesFlag, *outFlag)
+}

@@ -1,0 +1,68 @@
+// Multigrid: the Figure 7 experiment plus a custom-workload demonstration.
+// The statically scheduled relaxation has nearest-neighbour worker-sets, so
+// every scheme — including a plain limited directory — matches full-map.
+// The second half builds a small custom stencil program with the public
+// Prog API and runs it under two schemes.
+//
+//	go run ./examples/multigrid [-procs 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	limitless "limitless"
+)
+
+var procs = flag.Int("procs", 64, "processor count")
+
+func main() {
+	flag.Parse()
+	n := *procs
+
+	fmt.Printf("Static multigrid relaxation, %d processors (Figure 7):\n\n", n)
+	for _, c := range []struct {
+		name string
+		cfg  limitless.Config
+	}{
+		{"Dir4NB", limitless.Config{Procs: n, Scheme: limitless.LimitedNB, Pointers: 4}},
+		{"LimitLESS4 Ts=100", limitless.Config{Procs: n, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 100}},
+		{"LimitLESS4 Ts=50", limitless.Config{Procs: n, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50}},
+		{"Full-map", limitless.Config{Procs: n, Scheme: limitless.FullMap}},
+	} {
+		res, err := limitless.Run(c.cfg, limitless.Multigrid(n))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-18s %8d cycles, hit rate %.3f, %d traps\n",
+			c.name, res.Cycles, res.HitRate, res.Traps)
+	}
+	fmt.Println("\nAll schemes within a few percent: small worker-sets stay in hardware.")
+
+	// Custom workload: a one-dimensional stencil written against the
+	// public API. Each processor publishes a value, reads both ring
+	// neighbours, and repeats.
+	fmt.Println("\nCustom ring-stencil program (public Prog API), 16 processors:")
+	const ring = 16
+	cell := func(p int) limitless.Addr { return limitless.Block(p, 64) }
+	wl := func() limitless.Workload {
+		return limitless.Custom(ring, func(p int, pr *limitless.Prog) {
+			pr.Loop(8, func(i int, pr *limitless.Prog, next func(*limitless.Prog)) {
+				pr.Store(cell(p), uint64(i+1), func(pr *limitless.Prog) {
+					pr.Load(cell((p+1)%ring), func(_ uint64, pr *limitless.Prog) {
+						pr.Load(cell((p+ring-1)%ring), func(_ uint64, pr *limitless.Prog) {
+							pr.Compute(40, func(pr *limitless.Prog) { next(pr) })
+						})
+					})
+				})
+			}, func(*limitless.Prog) {})
+		})
+	}
+	for _, s := range []limitless.Scheme{limitless.LimitedNB, limitless.LimitLESS, limitless.FullMap} {
+		res, err := limitless.Run(limitless.Config{Procs: ring, Scheme: s, Pointers: 2, Verify: true}, wl())
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-14s %6d cycles, %5d messages\n", s, res.Cycles, res.Messages)
+	}
+}

@@ -1,0 +1,3 @@
+module limitless
+
+go 1.24

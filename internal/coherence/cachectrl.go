@@ -1,0 +1,444 @@
+package coherence
+
+import (
+	"fmt"
+
+	"limitless/internal/cache"
+	"limitless/internal/directory"
+	"limitless/internal/mesh"
+	"limitless/internal/sim"
+)
+
+// Placement maps a block address to its home node — the node whose memory
+// module and directory govern the block. Memory (and with it the
+// directory) is distributed among the processing nodes (Section 1).
+type Placement func(directory.Addr) mesh.NodeID
+
+// Op is a processor memory operation.
+type Op uint8
+
+const (
+	// Load reads a word.
+	Load Op = iota
+	// Store writes a word.
+	Store
+)
+
+func (o Op) String() string {
+	if o == Load {
+		return "load"
+	}
+	return "store"
+}
+
+// Request is one processor memory reference presented to the cache
+// controller. Done is invoked when the reference commits, with the value
+// read (loads) or written (stores). Shared marks data that more than one
+// processor touches; the private-only baseline refuses to cache it.
+type Request struct {
+	Op     Op
+	Addr   directory.Addr
+	Value  uint64
+	Shared bool
+	Done   func(value uint64)
+	// Modify, when non-nil on a Store, turns the reference into an atomic
+	// read-modify-write: the stored value becomes Modify(old) and Done
+	// receives the old value. Atomicity holds because the store commits in
+	// the same event as the exclusive fill — no other request can reach
+	// the block in between. This models the fetch-and-op primitives the
+	// paper's combining-tree barriers rely on.
+	Modify func(old uint64) uint64
+}
+
+// Outcome tells the processor, at issue time, how a reference will be
+// satisfied. The Alewife processor forces a context switch "only on memory
+// requests that require the use of the interconnection network" (Section
+// 2), i.e. on MissRemote.
+type Outcome uint8
+
+const (
+	// OutcomeHit: satisfied by the local cache after CacheHit cycles.
+	OutcomeHit Outcome = iota
+	// OutcomeMissLocal: miss serviced by this node's own memory module.
+	OutcomeMissLocal
+	// OutcomeMissRemote: miss requiring the interconnection network.
+	OutcomeMissRemote
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeMissLocal:
+		return "local-miss"
+	default:
+		return "remote-miss"
+	}
+}
+
+// MissStats separates local and remote miss latencies, the quantities of
+// the Section 3.1 model (T_h is the average remote access latency).
+type MissStats struct {
+	Hits          uint64
+	LocalMisses   uint64
+	LocalCycles   sim.Time
+	RemoteMisses  uint64
+	RemoteCycles  sim.Time
+	UncachedTrips uint64
+}
+
+// AvgRemoteLatency returns measured T_h in cycles.
+func (m MissStats) AvgRemoteLatency() float64 {
+	if m.RemoteMisses == 0 {
+		return 0
+	}
+	return float64(m.RemoteCycles) / float64(m.RemoteMisses)
+}
+
+// txn is an outstanding miss transaction (the controller's MSHR entry):
+// at most one per block per cache.
+type txn struct {
+	req    Request
+	msg    *Msg
+	issued sim.Time
+	queued []Request
+}
+
+// CacheController is the cache side of one node: it satisfies processor
+// references from the local cache, turns misses into protocol requests,
+// and answers the directory's invalidations.
+type CacheController struct {
+	eng    *sim.Engine
+	nw     *mesh.Network
+	id     mesh.NodeID
+	params Params
+	home   Placement
+
+	cache *cache.Cache
+	txns  map[directory.Addr]*txn
+	// chainNext holds this cache's next pointers for the chained scheme,
+	// one stack entry per list position this cache occupies. A cache can
+	// occupy several positions: when its line is displaced it keeps the
+	// pointer (a zombie) so a CINV walk can continue, and a re-read then
+	// prepends a fresh position at the head. Each CINV visit consumes
+	// exactly one entry, so no position — and in particular no tail
+	// marker — is ever lost or duplicated.
+	chainNext map[directory.Addr][]mesh.NodeID
+	// updateMode marks blocks registered for the Section 6 update-mode
+	// extension: stores travel as value-carrying UWREQ round trips and the
+	// block is only ever cached read-only.
+	updateMode map[directory.Addr]bool
+
+	stats Stats
+	miss  MissStats
+}
+
+// NewCacheController builds the cache side of node id.
+func NewCacheController(eng *sim.Engine, nw *mesh.Network, id mesh.NodeID, params Params, home Placement, c *cache.Cache) *CacheController {
+	params.validate()
+	if home == nil {
+		panic("coherence: nil placement")
+	}
+	return &CacheController{
+		eng:        eng,
+		nw:         nw,
+		id:         id,
+		params:     params,
+		home:       home,
+		cache:      c,
+		txns:       make(map[directory.Addr]*txn),
+		chainNext:  make(map[directory.Addr][]mesh.NodeID),
+		updateMode: make(map[directory.Addr]bool),
+	}
+}
+
+// ID returns the node this controller belongs to.
+func (cc *CacheController) ID() mesh.NodeID { return cc.id }
+
+// Cache exposes the underlying cache (for checkers and stats).
+func (cc *CacheController) Cache() *cache.Cache { return cc.cache }
+
+// Stats returns the protocol counters.
+func (cc *CacheController) Stats() Stats { return cc.stats }
+
+// Misses returns the hit/miss latency accounting.
+func (cc *CacheController) Misses() MissStats { return cc.miss }
+
+// Outstanding reports the number of in-flight miss transactions.
+func (cc *CacheController) Outstanding() int { return len(cc.txns) }
+
+func (cc *CacheController) send(dst mesh.NodeID, m *Msg) {
+	cc.stats.Sent[m.Type]++
+	cc.nw.Send(&mesh.Packet{Src: cc.id, Dst: dst, Flits: m.Flits(cc.params.BlockWords), Payload: m})
+}
+
+// SetUpdateMode registers (or clears) addr as an update-mode block. Stores
+// to such a block carry the value to the home node's software handler,
+// which propagates it to the read copies instead of invalidating them.
+func (cc *CacheController) SetUpdateMode(addr directory.Addr, on bool) {
+	if on {
+		cc.updateMode[addr] = true
+	} else {
+		delete(cc.updateMode, addr)
+	}
+}
+
+// missOutcome classifies a miss by where its home memory is.
+func (cc *CacheController) missOutcome(addr directory.Addr) Outcome {
+	if cc.home(addr) == cc.id {
+		return OutcomeMissLocal
+	}
+	return OutcomeMissRemote
+}
+
+// Access presents one processor reference. The Done callback fires when
+// the reference commits — after CacheHit cycles on a hit, or after the
+// full protocol transaction on a miss. The returned Outcome is known at
+// issue time and drives the processor's context-switch decision.
+func (cc *CacheController) Access(req Request) Outcome {
+	// The private-only baseline never caches shared data: every shared
+	// reference is an uncached round trip to the home memory module.
+	if cc.params.Scheme == PrivateOnly && req.Shared {
+		return cc.uncached(req)
+	}
+	// Update-mode stores carry their value to the home's software handler.
+	if req.Op == Store && cc.updateMode[req.Addr] {
+		return cc.uncached(req)
+	}
+
+	hitTime := cc.params.Timing.CacheHit
+	switch req.Op {
+	case Load:
+		if v, hit := cc.cache.Read(req.Addr); hit {
+			cc.miss.Hits++
+			cc.complete(req, v, hitTime)
+			return OutcomeHit
+		}
+	case Store:
+		if req.Modify != nil {
+			if old, ok := cc.cache.Peek(req.Addr); ok && cc.cache.State(req.Addr) == cache.ReadWrite {
+				if !cc.cache.Write(req.Addr, req.Modify(old)) {
+					panic("coherence: RMW write missed on owned line")
+				}
+				cc.miss.Hits++
+				cc.complete(req, old, hitTime)
+				return OutcomeHit
+			}
+		} else if cc.cache.Write(req.Addr, req.Value) {
+			cc.miss.Hits++
+			cc.complete(req, req.Value, hitTime)
+			return OutcomeHit
+		}
+	}
+
+	// Miss: join an existing transaction for the block or start one.
+	if t, ok := cc.txns[req.Addr]; ok {
+		t.queued = append(t.queued, req)
+		return cc.missOutcome(req.Addr)
+	}
+	t := &txn{req: req, issued: cc.eng.Now()}
+	if req.Op == Load {
+		t.msg = &Msg{Type: RREQ, Addr: req.Addr, Next: -1}
+	} else {
+		t.msg = &Msg{Type: WREQ, Addr: req.Addr, Next: -1}
+	}
+	cc.txns[req.Addr] = t
+	cc.eng.After(hitTime, func() { cc.send(cc.home(req.Addr), t.msg) })
+	return cc.missOutcome(req.Addr)
+}
+
+// uncached performs a round trip to the home memory module without caching.
+func (cc *CacheController) uncached(req Request) Outcome {
+	if t, ok := cc.txns[req.Addr]; ok {
+		t.queued = append(t.queued, req)
+		return cc.missOutcome(req.Addr)
+	}
+	t := &txn{req: req, issued: cc.eng.Now()}
+	if req.Op == Load {
+		t.msg = &Msg{Type: URREQ, Addr: req.Addr, Next: -1}
+	} else {
+		t.msg = &Msg{Type: UWREQ, Addr: req.Addr, Value: req.Value, Next: -1, Modify: req.Modify}
+	}
+	cc.txns[req.Addr] = t
+	cc.miss.UncachedTrips++
+	cc.eng.After(cc.params.Timing.CacheHit, func() { cc.send(cc.home(req.Addr), t.msg) })
+	return cc.missOutcome(req.Addr)
+}
+
+func (cc *CacheController) complete(req Request, value uint64, after sim.Time) {
+	if req.Done == nil {
+		return
+	}
+	cc.eng.After(after, func() { req.Done(value) })
+}
+
+// finish closes the transaction for addr, delivers the primary value, and
+// replays any references that queued behind the miss.
+func (cc *CacheController) finish(addr directory.Addr, value uint64) {
+	t := cc.txns[addr]
+	if t == nil {
+		panic(fmt.Sprintf("coherence: node %d finishing unknown transaction %#x", cc.id, addr))
+	}
+	delete(cc.txns, addr)
+
+	elapsed := cc.eng.Now() - t.issued
+	if cc.home(addr) == cc.id {
+		cc.miss.LocalMisses++
+		cc.miss.LocalCycles += elapsed
+	} else {
+		cc.miss.RemoteMisses++
+		cc.miss.RemoteCycles += elapsed
+	}
+
+	cc.complete(t.req, value, 0)
+	for _, q := range t.queued {
+		cc.Access(q)
+	}
+}
+
+// fill installs a block delivered by RDATA/WDATA and sends REPM for any
+// displaced Read-Write victim. Clean Read-Only victims vanish silently,
+// leaving a stale directory pointer, exactly as in the paper (only
+// "Replace Modified" generates traffic).
+func (cc *CacheController) fill(addr directory.Addr, st cache.LineState, value uint64) {
+	victim, displaced := cc.cache.Fill(addr, st, value)
+	if displaced && victim.State == cache.ReadWrite {
+		cc.send(cc.home(victim.Addr), &Msg{Type: REPM, Addr: victim.Addr, Value: victim.Value, Next: -1})
+	}
+}
+
+// HandleMem processes a memory-to-cache protocol message.
+func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
+	cc.stats.Received[m.Type]++
+	switch m.Type {
+	case RDATA:
+		t := cc.txns[m.Addr]
+		if t == nil || t.msg.Type != RREQ {
+			panic(fmt.Sprintf("coherence: node %d got RDATA %#x without read transaction", cc.id, m.Addr))
+		}
+		cc.fill(m.Addr, cache.ReadOnly, m.Value)
+		if cc.params.Scheme == Chained && m.Next != ChainResupply {
+			// Prepend the new list position; older (possibly zombie)
+			// positions stay behind it in walk order.
+			cc.chainNext[m.Addr] = append([]mesh.NodeID{m.Next}, cc.chainNext[m.Addr]...)
+		}
+		cc.finish(m.Addr, m.Value)
+
+	case WDATA:
+		t := cc.txns[m.Addr]
+		if t == nil || t.msg.Type != WREQ {
+			panic(fmt.Sprintf("coherence: node %d got WDATA %#x without write transaction", cc.id, m.Addr))
+		}
+		if cc.params.Scheme == Chained {
+			// Becoming owner dissolves any list position this cache held
+			// (an upgrade of a single-entry chain grants without a walk).
+			delete(cc.chainNext, m.Addr)
+		}
+		cc.fill(m.Addr, cache.ReadWrite, m.Value)
+		newVal, result := t.req.Value, t.req.Value
+		if t.req.Modify != nil {
+			// Atomic read-modify-write: old value in, new value stored,
+			// old value returned — all within this event.
+			newVal = t.req.Modify(m.Value)
+			result = m.Value
+		}
+		if !cc.cache.Write(m.Addr, newVal) {
+			panic("coherence: store missed immediately after WDATA fill")
+		}
+		cc.finish(m.Addr, result)
+
+	case MODG:
+		t := cc.txns[m.Addr]
+		if t == nil || t.msg.Type != WREQ {
+			panic(fmt.Sprintf("coherence: node %d got MODG %#x without write transaction", cc.id, m.Addr))
+		}
+		old, ok := cc.cache.Peek(m.Addr)
+		if !ok {
+			// The read copy the grant relies on was displaced while the
+			// upgrade was in flight; ask the directory (which now records
+			// us as owner) for the data.
+			cc.stats.Retries++
+			cc.send(cc.home(m.Addr), t.msg)
+			return
+		}
+		newVal, result := t.req.Value, t.req.Value
+		if t.req.Modify != nil {
+			newVal = t.req.Modify(old)
+			result = old
+		}
+		cc.fill(m.Addr, cache.ReadWrite, old)
+		if !cc.cache.Write(m.Addr, newVal) {
+			panic("coherence: store missed immediately after MODG upgrade")
+		}
+		cc.finish(m.Addr, result)
+
+	case INV:
+		value, dirty, present := cc.cache.Invalidate(m.Addr)
+		delete(cc.chainNext, m.Addr)
+		if present && dirty {
+			cc.send(src, &Msg{Type: UPDATE, Addr: m.Addr, Value: value, Next: -1})
+			return
+		}
+		cc.send(src, &Msg{Type: ACKC, Addr: m.Addr, Next: -1, Evict: m.Evict})
+
+	case BUSY:
+		t := cc.txns[m.Addr]
+		if t == nil {
+			panic(fmt.Sprintf("coherence: node %d got BUSY %#x without transaction", cc.id, m.Addr))
+		}
+		cc.stats.Retries++
+		cc.eng.After(cc.params.Timing.RetryBackoff, func() {
+			// The transaction may have completed meanwhile only if a
+			// response overtook the BUSY; with in-order delivery it
+			// cannot, so the entry is still live.
+			cc.send(cc.home(m.Addr), t.msg)
+		})
+
+	case CINV:
+		cc.cache.Invalidate(m.Addr)
+		stack := cc.chainNext[m.Addr]
+		if len(stack) == 0 {
+			// Defensive: a walk reached a cache with no recorded position.
+			cc.send(cc.home(m.Addr), &Msg{Type: ACKC, Addr: m.Addr, Next: -1})
+			return
+		}
+		next := stack[0]
+		if len(stack) == 1 {
+			delete(cc.chainNext, m.Addr)
+		} else {
+			cc.chainNext[m.Addr] = stack[1:]
+		}
+		if next >= 0 {
+			cc.send(next, &Msg{Type: CINV, Addr: m.Addr, Next: -1})
+			return
+		}
+		// Tail of the list: acknowledge to the home.
+		cc.send(cc.home(m.Addr), &Msg{Type: ACKC, Addr: m.Addr, Next: -1})
+
+	case UDATA:
+		cc.finish(m.Addr, m.Value)
+
+	case UACK:
+		t := cc.txns[m.Addr]
+		if t == nil {
+			panic(fmt.Sprintf("coherence: node %d got UACK %#x without transaction", cc.id, m.Addr))
+		}
+		result := t.req.Value
+		if t.req.Modify != nil {
+			// The home applied the read-modify-write; the UACK carries
+			// the old value. Any local read copy was refreshed by the
+			// UPDD that preceded this UACK.
+			result = m.Value
+		}
+		cc.finish(m.Addr, result)
+
+	case UPDD:
+		// Update-mode propagation: overwrite the read copy in place. No
+		// acknowledgment — update mode is delivered weakly ordered, as
+		// Section 6 extensions run under the software handler's control.
+		cc.cache.Update(m.Addr, m.Value)
+
+	default:
+		panic(fmt.Sprintf("coherence: node %d cache got unexpected %v from %d", cc.id, m.Type, src))
+	}
+}

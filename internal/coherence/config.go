@@ -1,0 +1,159 @@
+package coherence
+
+import (
+	"fmt"
+
+	"limitless/internal/sim"
+)
+
+// Scheme selects the directory organization — the independent variable of
+// every experiment in the paper.
+type Scheme uint8
+
+const (
+	// FullMap is the Censier-Feautrier full-map directory: one presence
+	// bit per processor per block. Memory O(N²), never overflows.
+	FullMap Scheme = iota
+	// LimitedNB is Dir_iNB: i hardware pointers, no broadcast; pointer
+	// overflow evicts a previously cached copy.
+	LimitedNB
+	// LimitLESS is the paper's contribution: i hardware pointers, with
+	// overflow handled by a software trap that extends the directory into
+	// local memory.
+	LimitLESS
+	// SoftwareOnly puts every directory entry in Trap-Always mode: all
+	// coherence handled by the processor (the m=1 limit of Section 3.1,
+	// the "migration path toward interrupt-driven cache coherence").
+	SoftwareOnly
+	// PrivateOnly caches only data tagged private by the workload; shared
+	// references are uncached round trips (an ASIM baseline, Section 5.1).
+	PrivateOnly
+	// Chained distributes the pointer list through the caches as a linked
+	// list (SCI-style [9]); invalidations traverse the list sequentially.
+	Chained
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case FullMap:
+		return "full-map"
+	case LimitedNB:
+		return "limited"
+	case LimitLESS:
+		return "limitless"
+	case SoftwareOnly:
+		return "software-only"
+	case PrivateOnly:
+		return "private-only"
+	case Chained:
+		return "chained"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// EvictPolicy selects the victim when a limited directory overflows.
+type EvictPolicy uint8
+
+const (
+	// EvictOldest removes the least recently added pointer (FIFO).
+	EvictOldest EvictPolicy = iota
+	// EvictPseudoRandom removes a deterministic pseudo-random pointer.
+	EvictPseudoRandom
+)
+
+// Timing collects the latency parameters of the machine model. All values
+// are in processor cycles. Defaults are calibrated so a 64-node machine
+// reproduces the paper's T_h ≈ 35-cycle average remote access latency.
+type Timing struct {
+	// CacheHit is the time for a load/store satisfied locally.
+	CacheHit sim.Time
+	// CtrlOccupancy is the controller's per-message processing time
+	// (directory lookup and state update).
+	CtrlOccupancy sim.Time
+	// MemAccess is the additional time to read or write the block in DRAM
+	// for data-bearing replies.
+	MemAccess sim.Time
+	// RetryBackoff is how long a cache waits after a BUSY before
+	// re-sending its request.
+	RetryBackoff sim.Time
+	// TrapEntry is the time from controller interrupt to the first
+	// instruction of the trap handler (5–10 cycles on SPARCLE, Section 4.1).
+	TrapEntry sim.Time
+	// TrapService is T_s: the full-map-emulation latency per trapped
+	// packet (the paper sweeps 25–150; Alewife's estimate is 50–100).
+	TrapService sim.Time
+	// ContextSwitch is the block-multithreading switch time (11 cycles on
+	// SPARCLE).
+	ContextSwitch sim.Time
+}
+
+// DefaultTiming returns the calibrated Alewife-like parameters with
+// T_s = 50 (the lower of the paper's Alewife estimates).
+func DefaultTiming() Timing {
+	return Timing{
+		CacheHit:      1,
+		CtrlOccupancy: 2,
+		MemAccess:     5,
+		RetryBackoff:  16,
+		TrapEntry:     7,
+		TrapService:   50,
+		ContextSwitch: 11,
+	}
+}
+
+// Stats aggregates protocol activity at one node (or, summed, machine-wide).
+type Stats struct {
+	// Sent counts messages injected, by type.
+	Sent [NumMsgTypes]uint64
+	// Received counts messages handled, by type.
+	Received [NumMsgTypes]uint64
+	// PointerOverflows counts RREQs arriving at a full pointer array.
+	PointerOverflows uint64
+	// Evictions counts limited-directory pointer evictions.
+	Evictions uint64
+	// Traps counts protocol packets forwarded to software.
+	Traps uint64
+	// Busies counts BUSY responses issued.
+	Busies uint64
+	// Retries counts requests re-sent after BUSY.
+	Retries uint64
+	// InvalidationsSent counts INV/CINV messages issued by this directory.
+	InvalidationsSent uint64
+	// WriteTxns counts write transactions started (transitions into
+	// Write-Transaction state).
+	WriteTxns uint64
+	// ReadTxns counts read transactions started.
+	ReadTxns uint64
+	// SWHandled counts packets fully processed by the software handler.
+	SWHandled uint64
+	// Deferred counts packets queued behind a Trans-In-Progress interlock.
+	Deferred uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	for i := range s.Sent {
+		s.Sent[i] += other.Sent[i]
+		s.Received[i] += other.Received[i]
+	}
+	s.PointerOverflows += other.PointerOverflows
+	s.Evictions += other.Evictions
+	s.Traps += other.Traps
+	s.Busies += other.Busies
+	s.Retries += other.Retries
+	s.InvalidationsSent += other.InvalidationsSent
+	s.WriteTxns += other.WriteTxns
+	s.ReadTxns += other.ReadTxns
+	s.SWHandled += other.SWHandled
+	s.Deferred += other.Deferred
+}
+
+// TotalSent returns the number of protocol messages injected.
+func (s *Stats) TotalSent() uint64 {
+	var n uint64
+	for _, v := range s.Sent {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,650 @@
+package coherence
+
+import (
+	"fmt"
+
+	"limitless/internal/directory"
+	"limitless/internal/ipi"
+	"limitless/internal/mesh"
+	"limitless/internal/sim"
+)
+
+// TrapSink is the memory controller's view of its local processor: the
+// interrupt wire of Figure 3. ProtocolTrap is raised whenever a protocol
+// packet has been forwarded to the IPI input queue (Section 4.2); the
+// processor then drains the queue through its trap handler.
+type TrapSink interface {
+	ProtocolTrap()
+}
+
+// Params configures a node's pair of controllers.
+type Params struct {
+	// Scheme selects the directory organization.
+	Scheme Scheme
+	// Pointers is the hardware pointer count (the i of Dir_iNB and
+	// LimitLESS_i). Ignored by full-map.
+	Pointers int
+	// Nodes is the machine size (for full-map vectors).
+	Nodes int
+	// BlockWords sizes data packets.
+	BlockWords int
+	// Timing is the latency model.
+	Timing Timing
+	// EvictPolicy picks limited-directory victims.
+	EvictPolicy EvictPolicy
+	// IPIQueueCap is the dedicated IPI input buffer size.
+	IPIQueueCap int
+	// DefaultMeta is the meta state for fresh directory entries: Normal
+	// for hardware-first schemes, TrapAlways for SoftwareOnly.
+	DefaultMeta directory.Meta
+	// ModifyGrant enables the footnote-1 optimization: an upgrade by the
+	// block's sole reader is answered with a dataless MODG instead of
+	// WDATA ("the Alewife machine will actually support an optimization
+	// of this transition that would send a modify grant (MODG), rather
+	// than write data (WDATA)").
+	ModifyGrant bool
+}
+
+// DefaultParams returns the paper's baseline configuration: LimitLESS with
+// four hardware pointers on a 64-node machine.
+func DefaultParams(nodes int) Params {
+	return Params{
+		Scheme:      LimitLESS,
+		Pointers:    4,
+		Nodes:       nodes,
+		BlockWords:  4,
+		Timing:      DefaultTiming(),
+		EvictPolicy: EvictOldest,
+		IPIQueueCap: 8,
+		DefaultMeta: directory.Normal,
+	}
+}
+
+func (p Params) validate() {
+	if p.Nodes < 1 {
+		panic("coherence: Params.Nodes must be >= 1")
+	}
+	if p.BlockWords < 1 {
+		panic("coherence: Params.BlockWords must be >= 1")
+	}
+	switch p.Scheme {
+	case LimitedNB, LimitLESS, SoftwareOnly, Chained:
+		if p.Pointers < 1 {
+			panic(fmt.Sprintf("coherence: scheme %v needs Pointers >= 1", p.Scheme))
+		}
+	}
+}
+
+// newPointerSet builds the per-entry pointer storage for the scheme.
+func (p Params) newPointerSet() directory.PointerSet {
+	switch p.Scheme {
+	case FullMap, PrivateOnly:
+		return directory.NewBitVector(p.Nodes)
+	default:
+		return directory.NewLimited(p.Pointers)
+	}
+}
+
+type deferredPkt struct {
+	src mesh.NodeID
+	msg *Msg
+}
+
+// MemoryController is the memory side of one node: the directory for every
+// block whose home is this node, the hardware protocol engine of Figure 2,
+// and the IPI forwarding machinery of the LimitLESS scheme.
+type MemoryController struct {
+	eng    *sim.Engine
+	nw     *mesh.Network
+	id     mesh.NodeID
+	params Params
+
+	dir   *directory.Store
+	ctrl  sim.Resource
+	ipiq  *ipi.Queue
+	sink  TrapSink
+	stats Stats
+
+	// deferred holds non-retriable packets (REPM/UPDATE/ACKC) that arrived
+	// while the block's meta state was Trans-In-Progress.
+	deferred map[directory.Addr][]deferredPkt
+
+	evictSeed uint64
+}
+
+// NewMemoryController builds the directory side of node id. The sink may
+// be nil for schemes that never trap (full-map, limited, private, chained).
+func NewMemoryController(eng *sim.Engine, nw *mesh.Network, id mesh.NodeID, params Params, sink TrapSink) *MemoryController {
+	params.validate()
+	if params.IPIQueueCap < 1 {
+		params.IPIQueueCap = 8
+	}
+	if params.Scheme == SoftwareOnly && params.DefaultMeta == directory.Normal {
+		// Software-only coherence means every entry starts — and stays —
+		// in Trap-Always mode.
+		params.DefaultMeta = directory.TrapAlways
+	}
+	return &MemoryController{
+		eng:       eng,
+		nw:        nw,
+		id:        id,
+		params:    params,
+		dir:       directory.NewStore(params.newPointerSet),
+		ipiq:      ipi.NewQueue(params.IPIQueueCap),
+		sink:      sink,
+		deferred:  make(map[directory.Addr][]deferredPkt),
+		evictSeed: uint64(id)*2654435761 + 1,
+	}
+}
+
+// ID returns the node this controller belongs to.
+func (mc *MemoryController) ID() mesh.NodeID { return mc.id }
+
+// Nodes returns the machine size.
+func (mc *MemoryController) Nodes() int { return mc.params.Nodes }
+
+// Params returns the controller configuration.
+func (mc *MemoryController) Params() Params { return mc.params }
+
+// Dir exposes the directory memory. The LimitLESS trap handler reads and
+// writes it directly — "the directories are placed in a special region of
+// memory that may be read and written by the processor" (Section 4.1).
+func (mc *MemoryController) Dir() *directory.Store { return mc.dir }
+
+// IPIQueue exposes the IPI input queue the processor drains on a trap.
+func (mc *MemoryController) IPIQueue() *ipi.Queue { return mc.ipiq }
+
+// Stats returns a copy of the controller's counters.
+func (mc *MemoryController) Stats() Stats { return mc.stats }
+
+// entry fetches (or creates) the directory entry for addr, applying the
+// scheme's default meta state to fresh entries.
+func (mc *MemoryController) entry(addr directory.Addr) *directory.Entry {
+	known := true
+	if _, ok := mc.dir.Lookup(addr); !ok {
+		known = false
+	}
+	e := mc.dir.Entry(addr)
+	if !known {
+		e.Meta = mc.params.DefaultMeta
+	}
+	return e
+}
+
+// Send injects a protocol message from this node. It is used both by the
+// hardware controller and — through the IPI output interface — by the
+// LimitLESS software handler.
+func (mc *MemoryController) Send(dst mesh.NodeID, m *Msg) {
+	mc.stats.Sent[m.Type]++
+	if m.Type == INV || m.Type == CINV {
+		mc.stats.InvalidationsSent++
+	}
+	mc.nw.Send(&mesh.Packet{Src: mc.id, Dst: dst, Flits: m.Flits(mc.params.BlockWords), Payload: m})
+}
+
+// cost returns the controller occupancy for processing an incoming message.
+func (mc *MemoryController) cost(t MsgType) sim.Time {
+	c := mc.params.Timing.CtrlOccupancy
+	switch t {
+	case RREQ, WREQ, REPM, UPDATE, URREQ, UWREQ:
+		c += mc.params.Timing.MemAccess
+	}
+	return c
+}
+
+// Handle accepts a protocol packet delivered by the network for a block
+// homed at this node. Processing is serialized through the controller's
+// occupancy resource and then dispatched to the protocol engine.
+func (mc *MemoryController) Handle(src mesh.NodeID, m *Msg) {
+	start := mc.ctrl.Claim(mc.eng.Now(), mc.cost(m.Type))
+	mc.eng.At(start+mc.cost(m.Type), func() { mc.process(src, m) })
+}
+
+// process runs one message through the meta-state filter of Table 4 and
+// then the hardware state machine of Figure 2 / Table 2.
+func (mc *MemoryController) process(src mesh.NodeID, m *Msg) {
+	mc.stats.Received[m.Type]++
+	e := mc.entry(m.Addr)
+
+	// Eviction acknowledgments are absorbed without touching transaction
+	// state, whatever the entry is doing now.
+	if m.Type == ACKC && m.Evict {
+		return
+	}
+
+	switch e.Meta {
+	case directory.TransInProgress:
+		// Interlock: software is processing this block. Requests bounce
+		// with BUSY (the requester retries); non-retriable packets are
+		// deferred until the handler releases the block.
+		switch m.Type {
+		case RREQ, WREQ, URREQ, UWREQ:
+			mc.stats.Busies++
+			mc.Send(src, &Msg{Type: BUSY, Addr: m.Addr, Next: -1})
+		default:
+			mc.stats.Deferred++
+			mc.deferred[m.Addr] = append(mc.deferred[m.Addr], deferredPkt{src, m})
+		}
+		return
+	case directory.TrapAlways:
+		mc.forwardToSoftware(src, m, e)
+		return
+	case directory.TrapOnWrite:
+		switch m.Type {
+		case WREQ, UPDATE, REPM, UWREQ:
+			mc.forwardToSoftware(src, m, e)
+			return
+		}
+	}
+
+	// Uncached accesses bypass the directory state machine.
+	switch m.Type {
+	case URREQ:
+		mc.Send(src, &Msg{Type: UDATA, Addr: m.Addr, Value: e.Value, Next: -1})
+		return
+	case UWREQ:
+		old := e.Value
+		if m.Modify != nil {
+			e.Value = m.Modify(old)
+		} else {
+			e.Value = m.Value
+		}
+		mc.Send(src, &Msg{Type: UACK, Addr: m.Addr, Value: old, Next: -1})
+		return
+	}
+
+	mc.hardware(src, m, e)
+}
+
+// forwardToSoftware implements the hand-off of Section 4.3: the packet is
+// placed in the IPI input queue, the block is interlocked, and the
+// processor is interrupted.
+func (mc *MemoryController) forwardToSoftware(src mesh.NodeID, m *Msg, e *directory.Entry) {
+	if mc.sink == nil {
+		panic(fmt.Sprintf("coherence: node %d forwards %v to software but has no trap sink (scheme %v)",
+			mc.id, m.Type, mc.params.Scheme))
+	}
+	mc.stats.Traps++
+	e.Pending++
+	e.Meta = directory.TransInProgress
+	mc.ipiq.Push(EncodeIPI(src, m))
+	mc.sink.ProtocolTrap()
+}
+
+// Release ends software processing of addr: the handler has set the meta
+// state it wants (Trap-On-Write, Normal, ...). Deferred packets —
+// non-retriable ACKC/UPDATE/REPM that arrived behind the interlock — are
+// re-processed immediately and in order, before any newly arriving request
+// can claim the controller. Without that priority a steady stream of
+// BUSY-retried requests can starve an in-flight write transaction's
+// acknowledgments indefinitely (a livelock, not a slowdown).
+func (mc *MemoryController) Release(addr directory.Addr) {
+	e := mc.entry(addr)
+	if e.Pending > 0 {
+		e.Pending--
+	}
+	mc.stats.SWHandled++
+	pending := mc.deferred[addr]
+	delete(mc.deferred, addr)
+	for _, d := range pending {
+		// Account for controller occupancy, but do not let later-arriving
+		// traffic overtake: process now.
+		mc.ctrl.Claim(mc.eng.Now(), mc.cost(d.msg.Type))
+		mc.process(d.src, d.msg)
+	}
+}
+
+// sharers lists every cache the directory believes holds the block,
+// including the home processor recorded by the Local Bit.
+func (mc *MemoryController) sharers(e *directory.Entry) []mesh.NodeID {
+	nodes := e.Ptrs.Nodes()
+	if e.Local {
+		nodes = append(nodes, mc.id)
+	}
+	return nodes
+}
+
+// addSharer records a read copy at node n, implementing the Local Bit
+// escape for the home node (Section 4.3: "local read requests will never
+// overflow a directory"). It reports overflow.
+func (mc *MemoryController) addSharer(e *directory.Entry, n mesh.NodeID) (ok bool) {
+	if e.Local && n == mc.id {
+		return true
+	}
+	if e.Ptrs.Add(n) {
+		return true
+	}
+	if n == mc.id {
+		e.Local = true
+		return true
+	}
+	return false
+}
+
+// clearSharers empties both the pointer array and the Local Bit.
+func (mc *MemoryController) clearSharers(e *directory.Entry) {
+	e.Ptrs.Clear()
+	e.Local = false
+}
+
+// hardware is the Figure-2 state machine (Table 2 transitions), shared by
+// every centralized-directory scheme.
+func (mc *MemoryController) hardware(src mesh.NodeID, m *Msg, e *directory.Entry) {
+	switch e.State {
+	case directory.ReadOnly:
+		mc.inReadOnly(src, m, e)
+	case directory.ReadWrite:
+		mc.inReadWrite(src, m, e)
+	case directory.ReadTransaction:
+		mc.inReadTransaction(src, m, e)
+	case directory.WriteTransaction:
+		mc.inWriteTransaction(src, m, e)
+	}
+}
+
+func (mc *MemoryController) protocolBug(state string, src mesh.NodeID, m *Msg) {
+	panic(fmt.Sprintf("coherence: node %d dir %s received unexpected %v from %d (addr %#x)",
+		mc.id, state, m.Type, src, m.Addr))
+}
+
+// inReadOnly implements transitions 1-3 of Table 2 (plus limited-directory
+// eviction and LimitLESS overflow trapping).
+func (mc *MemoryController) inReadOnly(src mesh.NodeID, m *Msg, e *directory.Entry) {
+	switch m.Type {
+	case RREQ: // Transition 1: P = P ∪ {i}, RDATA → i.
+		if mc.params.Scheme == Chained {
+			mc.chainedRead(src, e, m.Addr)
+			e.NoteSharers(e.Chain)
+			return
+		}
+		if mc.addSharer(e, src) {
+			e.NoteSharers(e.Sharers())
+			mc.Send(src, &Msg{Type: RDATA, Addr: m.Addr, Value: e.Value, Next: -1})
+			return
+		}
+		mc.overflow(src, m, e)
+
+	case WREQ:
+		sh := mc.sharers(e)
+		only := true
+		for _, n := range sh {
+			if n != src {
+				only = false
+				break
+			}
+		}
+		if mc.params.Scheme == Chained && e.Chain > 1 {
+			// The directory sees only the list head; deeper readers exist
+			// whenever the chain is longer than one, so the walk must run
+			// even if the head is the requester.
+			only = false
+		}
+		if only {
+			// Transition 2: P = {} or P = {i}: grant immediately. With
+			// the modify-grant optimization, a requester that already
+			// holds a read copy gets a dataless MODG.
+			hadCopy := len(sh) > 0
+			mc.clearSharers(e)
+			e.Ptrs.Add(src)
+			e.State = directory.ReadWrite
+			e.Chain = 0
+			if mc.params.ModifyGrant && hadCopy {
+				mc.Send(src, &Msg{Type: MODG, Addr: m.Addr, Next: -1})
+				return
+			}
+			mc.Send(src, &Msg{Type: WDATA, Addr: m.Addr, Value: e.Value, Next: -1})
+			return
+		}
+		// Transition 3: invalidate every other copy, then grant.
+		mc.stats.WriteTxns++
+		e.State = directory.WriteTransaction
+		if mc.params.Scheme == Chained {
+			// Sequential invalidation: one CINV walks the list; the tail
+			// acknowledges. The requester's own copy (if on the list) is
+			// invalidated too and refreshed by the eventual WDATA.
+			head := sh[0]
+			e.AckCtr = 1
+			mc.clearSharers(e)
+			e.Ptrs.Add(src)
+			e.Chain = 0
+			mc.Send(head, &Msg{Type: CINV, Addr: m.Addr, Next: -1})
+			return
+		}
+		n := 0
+		for _, k := range sh {
+			if k != src {
+				mc.Send(k, &Msg{Type: INV, Addr: m.Addr, Next: -1})
+				n++
+			}
+		}
+		e.AckCtr = n
+		mc.clearSharers(e)
+		e.Ptrs.Add(src)
+
+	case REPM:
+		// A replaced-modified block can only reach a Read-Only entry when
+		// the protocol has lost track of ownership.
+		mc.protocolBug("Read-Only", src, m)
+
+	case UPDATE:
+		mc.protocolBug("Read-Only", src, m)
+
+	case ACKC:
+		// Non-eviction ACKC in Read-Only has no transaction to count
+		// against; unreachable under in-order delivery.
+		mc.protocolBug("Read-Only", src, m)
+
+	case CINV:
+		mc.protocolBug("Read-Only", src, m)
+	}
+}
+
+// inReadWrite implements transitions 4-6 of Table 2.
+func (mc *MemoryController) inReadWrite(src mesh.NodeID, m *Msg, e *directory.Entry) {
+	owner := mc.owner(e)
+	switch m.Type {
+	case RREQ:
+		// Transition 5: P = {j}, INV → owner, await UPDATE.
+		if src == owner {
+			// The directory believes src owns the block; an RREQ from it
+			// cannot be serviced until its REPM arrives. Unreachable with
+			// in-order point-to-point delivery.
+			mc.protocolBug("Read-Write(owner-RREQ)", src, m)
+		}
+		mc.stats.ReadTxns++
+		e.State = directory.ReadTransaction
+		mc.clearSharers(e)
+		e.Ptrs.Add(src)
+		mc.Send(owner, &Msg{Type: INV, Addr: m.Addr, Next: -1})
+
+	case WREQ:
+		if src == owner {
+			// Recovery from a lost modify grant: the owner's read copy
+			// was displaced while its upgrade was in flight, so it never
+			// received data. Memory still holds the current value.
+			mc.Send(src, &Msg{Type: WDATA, Addr: m.Addr, Value: e.Value, Next: -1})
+			return
+		}
+		// Transition 4: P = {j}, INV → owner, await UPDATE/ACKC.
+		mc.stats.WriteTxns++
+		e.State = directory.WriteTransaction
+		e.AckCtr = 1
+		mc.clearSharers(e)
+		e.Ptrs.Add(src)
+		mc.Send(owner, &Msg{Type: INV, Addr: m.Addr, Next: -1})
+
+	case REPM:
+		// Transition 6: owner writes the block back; entry becomes
+		// uncached Read-Only.
+		if src != owner {
+			mc.protocolBug("Read-Write(foreign-REPM)", src, m)
+		}
+		e.Value = m.Value
+		mc.clearSharers(e)
+		e.State = directory.ReadOnly
+		e.Chain = 0
+
+	default:
+		mc.protocolBug("Read-Write", src, m)
+	}
+}
+
+// inReadTransaction implements transitions 9-10 of Table 2.
+func (mc *MemoryController) inReadTransaction(src mesh.NodeID, m *Msg, e *directory.Entry) {
+	switch m.Type {
+	case RREQ, WREQ: // Transition 9: BUSY.
+		mc.stats.Busies++
+		mc.Send(src, &Msg{Type: BUSY, Addr: m.Addr, Next: -1})
+
+	case REPM:
+		// Transition 9: REPM absorbed — the owner evicted the block while
+		// our INV was in flight; capture the data, keep waiting for the
+		// invalidation acknowledgment.
+		e.Value = m.Value
+
+	case UPDATE:
+		// Transition 10: data arrives; answer the waiting reader.
+		mc.finishReadTransaction(e, m.Addr, m.Value, true)
+
+	case ACKC:
+		// The owner acknowledged without data: its dirty copy left via a
+		// REPM that was absorbed above (in-order delivery guarantees the
+		// REPM arrived first). Memory already holds the freshest value.
+		mc.finishReadTransaction(e, m.Addr, e.Value, false)
+
+	default:
+		mc.protocolBug("Read-Transaction", src, m)
+	}
+}
+
+func (mc *MemoryController) finishReadTransaction(e *directory.Entry, addr directory.Addr, value uint64, store bool) {
+	if store {
+		e.Value = value
+	}
+	reader := mc.owner(e) // sole pointer = waiting reader
+	e.State = directory.ReadOnly
+	if mc.params.Scheme == Chained {
+		e.Chain = 1
+	}
+	mc.Send(reader, &Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: -1})
+}
+
+// inWriteTransaction implements transitions 7-8 of Table 2.
+func (mc *MemoryController) inWriteTransaction(src mesh.NodeID, m *Msg, e *directory.Entry) {
+	switch m.Type {
+	case RREQ, WREQ: // Transition 7: BUSY.
+		mc.stats.Busies++
+		mc.Send(src, &Msg{Type: BUSY, Addr: m.Addr, Next: -1})
+
+	case REPM:
+		// The previous owner's eviction crossed our INV; absorb the data.
+		// The matching ACKC is still on its way.
+		e.Value = m.Value
+
+	case ACKC: // Transition 7/8: count acknowledgments.
+		e.AckCtr--
+		if e.AckCtr < 0 {
+			mc.protocolBug("Write-Transaction(ack-underflow)", src, m)
+		}
+		if e.AckCtr == 0 {
+			mc.finishWriteTransaction(e, m.Addr)
+		}
+
+	case UPDATE:
+		// Transition 8: the owner returned its dirty data in response to
+		// the invalidation; counts as the acknowledgment.
+		e.Value = m.Value
+		e.AckCtr--
+		if e.AckCtr < 0 {
+			mc.protocolBug("Write-Transaction(update-underflow)", src, m)
+		}
+		if e.AckCtr == 0 {
+			mc.finishWriteTransaction(e, m.Addr)
+		}
+
+	default:
+		mc.protocolBug("Write-Transaction", src, m)
+	}
+}
+
+func (mc *MemoryController) finishWriteTransaction(e *directory.Entry, addr directory.Addr) {
+	writer := mc.owner(e)
+	e.State = directory.ReadWrite
+	// Reading the block out of memory for the WDATA reply costs a memory
+	// access on top of the message that completed the transaction.
+	mc.ctrl.Claim(mc.eng.Now(), mc.params.Timing.MemAccess)
+	mc.Send(writer, &Msg{Type: WDATA, Addr: addr, Value: e.Value, Next: -1})
+}
+
+// owner returns the single expected member of the pointer set during
+// Read-Write and transaction states.
+func (mc *MemoryController) owner(e *directory.Entry) mesh.NodeID {
+	nodes := mc.sharers(e)
+	if len(nodes) != 1 {
+		panic(fmt.Sprintf("coherence: node %d expected a single pointer, have %v (state %v)",
+			mc.id, nodes, e.State))
+	}
+	return nodes[0]
+}
+
+// overflow handles an RREQ that found the hardware pointer array full: the
+// defining event of the evaluation. Full-map cannot get here; limited
+// directories evict (Dir_iNB); LimitLESS traps to software.
+func (mc *MemoryController) overflow(src mesh.NodeID, m *Msg, e *directory.Entry) {
+	mc.stats.PointerOverflows++
+	switch mc.params.Scheme {
+	case LimitedNB:
+		victim := mc.pickVictim(e)
+		e.Ptrs.Remove(victim)
+		e.Ptrs.Add(src)
+		mc.stats.Evictions++
+		mc.Send(victim, &Msg{Type: INV, Addr: m.Addr, Next: -1, Evict: true})
+		mc.Send(src, &Msg{Type: RDATA, Addr: m.Addr, Value: e.Value, Next: -1})
+
+	case LimitLESS, SoftwareOnly:
+		mc.forwardToSoftware(src, m, e)
+
+	default:
+		mc.protocolBug(fmt.Sprintf("Read-Only(overflow,%v)", mc.params.Scheme), src, m)
+	}
+}
+
+// pickVictim selects the pointer a limited directory reclaims.
+func (mc *MemoryController) pickVictim(e *directory.Entry) mesh.NodeID {
+	lim, ok := e.Ptrs.(*directory.Limited)
+	if !ok {
+		panic("coherence: eviction from non-limited pointer set")
+	}
+	if mc.params.EvictPolicy == EvictOldest {
+		return lim.Oldest()
+	}
+	// Deterministic xorshift pseudo-random choice.
+	mc.evictSeed ^= mc.evictSeed << 13
+	mc.evictSeed ^= mc.evictSeed >> 7
+	mc.evictSeed ^= mc.evictSeed << 17
+	nodes := lim.Nodes()
+	return nodes[mc.evictSeed%uint64(len(nodes))]
+}
+
+// chainedRead implements the linked-list read path: the new reader becomes
+// the list head and learns the previous head, which its cache records as
+// its next pointer.
+func (mc *MemoryController) chainedRead(src mesh.NodeID, e *directory.Entry, addr directory.Addr) {
+	next := mesh.NodeID(-1)
+	if e.Chain > 0 {
+		prev := e.Ptrs.Nodes()
+		if len(prev) == 1 && prev[0] == src {
+			// Already the head (its line was displaced): resupply the data
+			// without growing the list.
+			mc.Send(src, &Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: ChainResupply})
+			return
+		}
+		if len(prev) == 1 {
+			next = prev[0]
+		}
+	}
+	e.Ptrs.Clear()
+	e.Ptrs.Add(src)
+	e.Chain++
+	mc.Send(src, &Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: next})
+}

@@ -1,0 +1,356 @@
+// Package directory implements the directory memory of the Alewife
+// coherence schemes: the memory-side protocol states of Table 1, the meta
+// states of Table 4, and the pointer storage that distinguishes the
+// protocols — an unbounded bit vector for the full-map scheme
+// (Censier-Feautrier style), and a small fixed array of hardware pointers
+// for the limited and LimitLESS schemes.
+//
+// A directory is distributed: each node owns the entries for the blocks
+// whose home is that node (Section 2). One Store instance models one
+// node's directory memory.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"limitless/internal/mesh"
+)
+
+// Addr is a block-aligned physical address. The cache layer converts word
+// addresses to block addresses before they reach the directory.
+type Addr uint64
+
+// State is a memory-side directory state (paper Table 1).
+type State uint8
+
+const (
+	// ReadOnly: some number of caches have read-only copies of the data.
+	// An empty pointer set means the block is uncached.
+	ReadOnly State = iota
+	// ReadWrite: exactly one cache has a read-write copy of the data.
+	ReadWrite
+	// ReadTransaction: holding a read request, update is in progress.
+	ReadTransaction
+	// WriteTransaction: holding a write request, invalidation is in progress.
+	WriteTransaction
+)
+
+func (s State) String() string {
+	switch s {
+	case ReadOnly:
+		return "Read-Only"
+	case ReadWrite:
+		return "Read-Write"
+	case ReadTransaction:
+		return "Read-Transaction"
+	case WriteTransaction:
+		return "Write-Transaction"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Meta is a directory meta state (paper Table 4). Meta states control the
+// hardware/software hand-off of the LimitLESS protocol.
+type Meta uint8
+
+const (
+	// Normal: coherence for the block is handled by hardware.
+	Normal Meta = iota
+	// TransInProgress: interlock — software processing in progress; the
+	// controller blocks (BUSYs) protocol packets for the block.
+	TransInProgress
+	// TrapOnWrite: reads handled by hardware; WREQ, UPDATE and REPM are
+	// forwarded to the processor's IPI input queue.
+	TrapOnWrite
+	// TrapAlways: all protocol packets for the block go to the processor.
+	TrapAlways
+)
+
+func (m Meta) String() string {
+	switch m {
+	case Normal:
+		return "Normal"
+	case TransInProgress:
+		return "Trans-In-Progress"
+	case TrapOnWrite:
+		return "Trap-On-Write"
+	case TrapAlways:
+		return "Trap-Always"
+	default:
+		return fmt.Sprintf("Meta(%d)", uint8(m))
+	}
+}
+
+// PointerSet records which caches hold copies of a block. Implementations
+// differ in capacity: the full-map bit vector never overflows; the limited
+// pointer array refuses to grow past its hardware capacity, which is the
+// event that triggers eviction (Dir_iNB) or a software trap (LimitLESS).
+type PointerSet interface {
+	// Add records node n. It reports false — leaving the set unchanged —
+	// when the set is full and n is not already a member.
+	Add(n mesh.NodeID) bool
+	// Remove deletes n, reporting whether it was present.
+	Remove(n mesh.NodeID) bool
+	// Contains reports membership.
+	Contains(n mesh.NodeID) bool
+	// Len returns the number of recorded pointers.
+	Len() int
+	// Nodes returns the members in ascending order (a fresh slice).
+	Nodes() []mesh.NodeID
+	// Clear empties the set. The LimitLESS trap handler uses this to
+	// "empty the hardware pointers" into its software vector.
+	Clear()
+	// Cap returns the maximum size, or -1 when unbounded.
+	Cap() int
+}
+
+// BitVector is a full-map pointer set: one presence bit per processor,
+// packed into words. Its memory cost is what the paper's O(N²) complaint
+// is about; here it also serves as the software-extended directory the
+// LimitLESS trap handler allocates in local memory.
+type BitVector struct {
+	words []uint64
+	n     int
+}
+
+// NewBitVector returns an empty bit vector covering nodes [0, n).
+func NewBitVector(n int) *BitVector {
+	return &BitVector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b *BitVector) check(n mesh.NodeID) {
+	if n < 0 || int(n) >= b.n {
+		panic(fmt.Sprintf("directory: node %d outside bit vector of %d", n, b.n))
+	}
+}
+
+// Add implements PointerSet; it never overflows.
+func (b *BitVector) Add(n mesh.NodeID) bool {
+	b.check(n)
+	b.words[n/64] |= 1 << (uint(n) % 64)
+	return true
+}
+
+// Remove implements PointerSet.
+func (b *BitVector) Remove(n mesh.NodeID) bool {
+	b.check(n)
+	mask := uint64(1) << (uint(n) % 64)
+	had := b.words[n/64]&mask != 0
+	b.words[n/64] &^= mask
+	return had
+}
+
+// Contains implements PointerSet.
+func (b *BitVector) Contains(n mesh.NodeID) bool {
+	b.check(n)
+	return b.words[n/64]&(1<<(uint(n)%64)) != 0
+}
+
+// Len implements PointerSet.
+func (b *BitVector) Len() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Nodes implements PointerSet.
+func (b *BitVector) Nodes() []mesh.NodeID {
+	out := make([]mesh.NodeID, 0, b.Len())
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, mesh.NodeID(wi*64+bit))
+			w &^= 1 << uint(bit)
+		}
+	}
+	return out
+}
+
+// Clear implements PointerSet.
+func (b *BitVector) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Cap implements PointerSet (-1: unbounded up to machine size).
+func (b *BitVector) Cap() int { return -1 }
+
+// Limited is the hardware pointer array of a limited or LimitLESS
+// directory entry: at most cap simultaneous pointers.
+type Limited struct {
+	ptrs []mesh.NodeID
+	max  int
+}
+
+// NewLimited returns an empty pointer array with capacity max (the paper's
+// subscript in Dir_iNB / LimitLESS_i).
+func NewLimited(max int) *Limited {
+	if max < 1 {
+		panic("directory: limited pointer array needs capacity >= 1")
+	}
+	return &Limited{ptrs: make([]mesh.NodeID, 0, max), max: max}
+}
+
+// Add implements PointerSet.
+func (l *Limited) Add(n mesh.NodeID) bool {
+	if l.Contains(n) {
+		return true
+	}
+	if len(l.ptrs) >= l.max {
+		return false
+	}
+	l.ptrs = append(l.ptrs, n)
+	return true
+}
+
+// Remove implements PointerSet.
+func (l *Limited) Remove(n mesh.NodeID) bool {
+	for i, p := range l.ptrs {
+		if p == n {
+			l.ptrs = append(l.ptrs[:i], l.ptrs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains implements PointerSet.
+func (l *Limited) Contains(n mesh.NodeID) bool {
+	for _, p := range l.ptrs {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Len implements PointerSet.
+func (l *Limited) Len() int { return len(l.ptrs) }
+
+// Nodes implements PointerSet.
+func (l *Limited) Nodes() []mesh.NodeID {
+	out := append([]mesh.NodeID(nil), l.ptrs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clear implements PointerSet.
+func (l *Limited) Clear() { l.ptrs = l.ptrs[:0] }
+
+// Cap implements PointerSet.
+func (l *Limited) Cap() int { return l.max }
+
+// Oldest returns the least-recently-added pointer, the FIFO eviction
+// victim. It panics on an empty set.
+func (l *Limited) Oldest() mesh.NodeID {
+	if len(l.ptrs) == 0 {
+		panic("directory: Oldest on empty pointer array")
+	}
+	return l.ptrs[0]
+}
+
+// InOrder returns the pointers in arrival order (oldest first) — the
+// information FIFO eviction policies need, which the sorted Nodes view
+// discards.
+func (l *Limited) InOrder() []mesh.NodeID {
+	return append([]mesh.NodeID(nil), l.ptrs...)
+}
+
+// Entry is one directory entry: protocol state, meta state, the hardware
+// pointer set, the acknowledgment counter used by write transactions, the
+// Local Bit of Section 4.3, and the memory block's data value.
+//
+// Data is modelled as a single version word per block: every write
+// increments it. That is enough for the consistency checker to detect any
+// stale read the protocol lets through.
+type Entry struct {
+	State  State
+	Meta   Meta
+	Ptrs   PointerSet
+	AckCtr int
+	// Local is the Local Bit: a dedicated pointer for the home node's own
+	// processor so local reads can never overflow the directory.
+	Local bool
+	// Value is the current memory image of the block.
+	Value uint64
+	// Pending counts protocol packets for this block currently queued to
+	// software (Trans-In-Progress bookkeeping).
+	Pending int
+	// Chain is the length of the cache-resident sharing list maintained
+	// by the chained-directory scheme; unused by the other protocols.
+	Chain int
+	// MaxSharers is a high-water mark of simultaneously recorded copies —
+	// the block's observed worker-set size. Maintained by the controller
+	// for the worker-set census (the paper's footing: "previous studies
+	// have shown that a small set of pointers is sufficient to capture
+	// the worker-set of processors").
+	MaxSharers int
+}
+
+// NoteSharers updates the worker-set high-water mark.
+func (e *Entry) NoteSharers(n int) {
+	if n > e.MaxSharers {
+		e.MaxSharers = n
+	}
+}
+
+// Sharers returns how many caches the directory believes hold the block,
+// counting the Local Bit.
+func (e *Entry) Sharers() int {
+	n := e.Ptrs.Len()
+	if e.Local {
+		n++
+	}
+	return n
+}
+
+// Store is one node's directory memory: entries for every block whose home
+// is this node, created on first touch in the uncached Read-Only state.
+type Store struct {
+	entries map[Addr]*Entry
+	newSet  func() PointerSet
+}
+
+// NewStore returns an empty directory whose entries use pointer sets built
+// by newSet (full-map bit vectors or limited arrays).
+func NewStore(newSet func() PointerSet) *Store {
+	return &Store{entries: make(map[Addr]*Entry), newSet: newSet}
+}
+
+// Entry returns the directory entry for addr, creating it (uncached,
+// Read-Only, Normal) on first reference.
+func (s *Store) Entry(addr Addr) *Entry {
+	e, ok := s.entries[addr]
+	if !ok {
+		e = &Entry{State: ReadOnly, Meta: Normal, Ptrs: s.newSet()}
+		s.entries[addr] = e
+	}
+	return e
+}
+
+// Lookup returns the entry for addr without creating one.
+func (s *Store) Lookup(addr Addr) (*Entry, bool) {
+	e, ok := s.entries[addr]
+	return e, ok
+}
+
+// Len returns the number of allocated entries.
+func (s *Store) Len() int { return len(s.entries) }
+
+// ForEach visits every allocated entry in ascending address order.
+func (s *Store) ForEach(fn func(Addr, *Entry)) {
+	addrs := make([]Addr, 0, len(s.entries))
+	for a := range s.entries {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fn(a, s.entries[a])
+	}
+}

@@ -1,0 +1,299 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"limitless/internal/mesh"
+)
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{
+		ReadOnly:         "Read-Only",
+		ReadWrite:        "Read-Write",
+		ReadTransaction:  "Read-Transaction",
+		WriteTransaction: "Write-Transaction",
+		State(99):        "State(99)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestMetaStrings(t *testing.T) {
+	cases := map[Meta]string{
+		Normal:          "Normal",
+		TransInProgress: "Trans-In-Progress",
+		TrapOnWrite:     "Trap-On-Write",
+		TrapAlways:      "Trap-Always",
+		Meta(42):        "Meta(42)",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestBitVectorBasics(t *testing.T) {
+	b := NewBitVector(64)
+	if b.Len() != 0 || b.Cap() != -1 {
+		t.Fatalf("fresh vector: len=%d cap=%d", b.Len(), b.Cap())
+	}
+	for _, n := range []mesh.NodeID{0, 13, 63} {
+		if !b.Add(n) {
+			t.Fatalf("Add(%d) overflowed a bit vector", n)
+		}
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+	if !b.Contains(13) || b.Contains(14) {
+		t.Fatal("membership wrong")
+	}
+	nodes := b.Nodes()
+	want := []mesh.NodeID{0, 13, 63}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", nodes, want)
+		}
+	}
+	if !b.Remove(13) {
+		t.Fatal("Remove(13) = false")
+	}
+	if b.Remove(13) {
+		t.Fatal("second Remove(13) = true")
+	}
+	b.Clear()
+	if b.Len() != 0 {
+		t.Fatalf("after Clear len = %d", b.Len())
+	}
+}
+
+func TestBitVectorAddIdempotent(t *testing.T) {
+	b := NewBitVector(8)
+	b.Add(3)
+	b.Add(3)
+	if b.Len() != 1 {
+		t.Fatalf("duplicate Add changed Len to %d", b.Len())
+	}
+}
+
+func TestBitVectorOutOfRangePanics(t *testing.T) {
+	b := NewBitVector(8)
+	for _, n := range []mesh.NodeID{-1, 8, 100} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", n)
+				}
+			}()
+			b.Add(n)
+		}()
+	}
+}
+
+func TestBitVectorSpansWords(t *testing.T) {
+	b := NewBitVector(130)
+	for _, n := range []mesh.NodeID{0, 63, 64, 127, 128, 129} {
+		b.Add(n)
+	}
+	if b.Len() != 6 {
+		t.Fatalf("len = %d, want 6", b.Len())
+	}
+	nodes := b.Nodes()
+	if nodes[len(nodes)-1] != 129 {
+		t.Fatalf("Nodes tail = %v", nodes)
+	}
+}
+
+func TestLimitedCapacity(t *testing.T) {
+	l := NewLimited(4)
+	if l.Cap() != 4 {
+		t.Fatalf("cap = %d", l.Cap())
+	}
+	for n := mesh.NodeID(0); n < 4; n++ {
+		if !l.Add(n) {
+			t.Fatalf("Add(%d) failed below capacity", n)
+		}
+	}
+	if l.Add(9) {
+		t.Fatal("Add beyond capacity succeeded")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("failed Add changed set: len=%d", l.Len())
+	}
+	// Adding an existing member of a full set succeeds (it is a hit).
+	if !l.Add(2) {
+		t.Fatal("Add of existing member reported overflow")
+	}
+	if !l.Remove(2) {
+		t.Fatal("Remove(2) failed")
+	}
+	if !l.Add(9) {
+		t.Fatal("Add after Remove failed")
+	}
+}
+
+func TestLimitedOldestIsFIFO(t *testing.T) {
+	l := NewLimited(3)
+	l.Add(5)
+	l.Add(2)
+	l.Add(8)
+	if l.Oldest() != 5 {
+		t.Fatalf("Oldest = %d, want 5", l.Oldest())
+	}
+	l.Remove(5)
+	if l.Oldest() != 2 {
+		t.Fatalf("Oldest after removal = %d, want 2", l.Oldest())
+	}
+}
+
+func TestLimitedOldestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Oldest on empty did not panic")
+		}
+	}()
+	NewLimited(2).Oldest()
+}
+
+func TestLimitedNodesSorted(t *testing.T) {
+	l := NewLimited(4)
+	for _, n := range []mesh.NodeID{7, 1, 4} {
+		l.Add(n)
+	}
+	nodes := l.Nodes()
+	want := []mesh.NodeID{1, 4, 7}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestNewLimitedRejectsZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLimited(0) did not panic")
+		}
+	}()
+	NewLimited(0)
+}
+
+func TestEntrySharersCountsLocalBit(t *testing.T) {
+	e := &Entry{State: ReadOnly, Ptrs: NewLimited(4)}
+	e.Ptrs.Add(1)
+	e.Ptrs.Add(2)
+	if e.Sharers() != 2 {
+		t.Fatalf("sharers = %d, want 2", e.Sharers())
+	}
+	e.Local = true
+	if e.Sharers() != 3 {
+		t.Fatalf("sharers with Local = %d, want 3", e.Sharers())
+	}
+}
+
+func TestStoreCreatesUncachedReadOnly(t *testing.T) {
+	s := NewStore(func() PointerSet { return NewLimited(4) })
+	if _, ok := s.Lookup(0x100); ok {
+		t.Fatal("Lookup created an entry")
+	}
+	e := s.Entry(0x100)
+	if e.State != ReadOnly || e.Meta != Normal || e.Ptrs.Len() != 0 {
+		t.Fatalf("fresh entry = %+v", e)
+	}
+	if s.Entry(0x100) != e {
+		t.Fatal("Entry not stable across calls")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store len = %d", s.Len())
+	}
+}
+
+func TestStoreForEachOrdered(t *testing.T) {
+	s := NewStore(func() PointerSet { return NewBitVector(4) })
+	for _, a := range []Addr{0x30, 0x10, 0x20} {
+		s.Entry(a)
+	}
+	var got []Addr
+	s.ForEach(func(a Addr, _ *Entry) { got = append(got, a) })
+	want := []Addr{0x10, 0x20, 0x30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: a BitVector behaves exactly like a reference set for any
+// operation sequence.
+func TestBitVectorMatchesReferenceSet(t *testing.T) {
+	type op struct {
+		Kind byte
+		Node uint8
+	}
+	prop := func(ops []op) bool {
+		b := NewBitVector(64)
+		ref := make(map[mesh.NodeID]bool)
+		for _, o := range ops {
+			n := mesh.NodeID(o.Node % 64)
+			switch o.Kind % 3 {
+			case 0:
+				b.Add(n)
+				ref[n] = true
+			case 1:
+				got := b.Remove(n)
+				want := ref[n]
+				delete(ref, n)
+				if got != want {
+					return false
+				}
+			case 2:
+				if b.Contains(n) != ref[n] {
+					return false
+				}
+			}
+		}
+		if b.Len() != len(ref) {
+			return false
+		}
+		for _, n := range b.Nodes() {
+			if !ref[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Limited set never exceeds capacity, and Add returns false
+// only when full with a non-member.
+func TestLimitedCapacityProperty(t *testing.T) {
+	prop := func(capRaw uint8, nodes []uint8) bool {
+		c := int(capRaw%8) + 1
+		l := NewLimited(c)
+		for _, raw := range nodes {
+			n := mesh.NodeID(raw % 16)
+			member := l.Contains(n)
+			full := l.Len() == c
+			ok := l.Add(n)
+			if ok != (member || !full) {
+				return false
+			}
+			if l.Len() > c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package experiments defines every reproduced experiment — the paper's
+// figures and tables plus this repository's ablations — as functions
+// returning structured data. cmd/figures renders them; the package's own
+// tests assert the shapes the paper reports (who wins, in what order, by
+// roughly what factor), so a regression that flattens a figure fails CI
+// rather than silently producing a wrong chart.
+package experiments
+
+import (
+	"fmt"
+
+	limitless "limitless"
+	"limitless/internal/coherence"
+	"limitless/internal/machine"
+)
+
+// bitsPerEntry maps the facade scheme names onto the machine package's
+// hardware cost model.
+func bitsPerEntry(s limitless.Scheme, nodes, pointers int) int {
+	var cs coherence.Scheme
+	switch s {
+	case limitless.FullMap:
+		cs = coherence.FullMap
+	case limitless.LimitedNB:
+		cs = coherence.LimitedNB
+	case limitless.LimitLESS:
+		cs = coherence.LimitLESS
+	case limitless.SoftwareOnly:
+		cs = coherence.SoftwareOnly
+	case limitless.PrivateOnly:
+		cs = coherence.PrivateOnly
+	case limitless.Chained:
+		cs = coherence.Chained
+	}
+	return machine.BitsPerEntry(cs, nodes, pointers)
+}
+
+// Bar is one bar of an execution-time chart.
+type Bar struct {
+	Name   string
+	Result limitless.Result
+}
+
+// Cycles is shorthand for the bar's execution time.
+func (b Bar) Cycles() int64 { return b.Result.Cycles }
+
+func run(cfg limitless.Config, wl limitless.Workload) (limitless.Result, error) {
+	return limitless.Run(cfg, wl)
+}
+
+// runBars executes one workload constructor under several configurations
+// concurrently.
+func runBars(names []string, cfgs []limitless.Config, mk func(cfg limitless.Config) limitless.Workload) ([]Bar, error) {
+	results, err := limitless.Sweep(cfgs, mk)
+	if err != nil {
+		return nil, err
+	}
+	bars := make([]Bar, len(names))
+	for i := range names {
+		bars[i] = Bar{Name: names[i], Result: results[i]}
+	}
+	return bars, nil
+}
+
+// Fig7 is the static multigrid comparison (all schemes comparable).
+func Fig7(procs int) ([]Bar, error) {
+	return runBars(
+		[]string{"Dir4NB", "LimitLESS4 Ts=100", "LimitLESS4 Ts=50", "Full-Map"},
+		[]limitless.Config{
+			{Procs: procs, Scheme: limitless.LimitedNB, Pointers: 4},
+			{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 100},
+			{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50},
+			{Procs: procs, Scheme: limitless.FullMap},
+		},
+		func(cfg limitless.Config) limitless.Workload { return limitless.Multigrid(procs) })
+}
+
+// Fig8 is unoptimized Weather under limited and full-map directories; the
+// second slice is the optimized control.
+func Fig8(procs int) (unopt, opt []Bar, err error) {
+	unopt, err = runBars(
+		[]string{"Dir1NB", "Dir2NB", "Dir4NB", "Full-Map"},
+		[]limitless.Config{
+			{Procs: procs, Scheme: limitless.LimitedNB, Pointers: 1},
+			{Procs: procs, Scheme: limitless.LimitedNB, Pointers: 2},
+			{Procs: procs, Scheme: limitless.LimitedNB, Pointers: 4},
+			{Procs: procs, Scheme: limitless.FullMap},
+		},
+		func(cfg limitless.Config) limitless.Workload { return limitless.Weather(procs) })
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, err = runBars(
+		[]string{"Dir4NB (optimized)", "Full-Map (optimized)"},
+		[]limitless.Config{
+			{Procs: procs, Scheme: limitless.LimitedNB, Pointers: 4},
+			{Procs: procs, Scheme: limitless.FullMap},
+		},
+		func(cfg limitless.Config) limitless.Workload { return limitless.WeatherOptimized(procs) })
+	return unopt, opt, err
+}
+
+// Fig9 is Weather under LimitLESS4 across the T_s sweep.
+func Fig9(procs int) ([]Bar, error) {
+	return runBars(
+		[]string{"Dir4NB", "LimitLESS4 Ts=150", "LimitLESS4 Ts=100", "LimitLESS4 Ts=50", "LimitLESS4 Ts=25", "Full-Map"},
+		[]limitless.Config{
+			{Procs: procs, Scheme: limitless.LimitedNB, Pointers: 4},
+			{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 150},
+			{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 100},
+			{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50},
+			{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 25},
+			{Procs: procs, Scheme: limitless.FullMap},
+		},
+		func(cfg limitless.Config) limitless.Workload { return limitless.Weather(procs) })
+}
+
+// Fig10 is Weather under LimitLESS with 1, 2 and 4 pointers at T_s = 50.
+func Fig10(procs int) ([]Bar, error) {
+	return runBars(
+		[]string{"Dir4NB", "LimitLESS1", "LimitLESS2", "LimitLESS4", "Full-Map"},
+		[]limitless.Config{
+			{Procs: procs, Scheme: limitless.LimitedNB, Pointers: 4},
+			{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 1, TrapService: 50},
+			{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 2, TrapService: 50},
+			{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50},
+			{Procs: procs, Scheme: limitless.FullMap},
+		},
+		func(cfg limitless.Config) limitless.Workload { return limitless.Weather(procs) })
+}
+
+// ModelRow is one row of the Section 3.1 analytic-model validation.
+type ModelRow struct {
+	WorkerSet int
+	Ts        int64
+	M         float64 // measured software fraction
+	Th        float64 // full-map average remote latency
+	Predicted float64 // Th + m*Ts
+	Measured  float64 // LimitLESS average remote latency
+}
+
+// ErrPct returns the prediction error as a percentage of the measurement.
+func (r ModelRow) ErrPct() float64 {
+	if r.Measured == 0 {
+		return 0
+	}
+	return (r.Measured - r.Predicted) / r.Measured * 100
+}
+
+// Model validates T_eff = T_h + m*T_s across worker-set and T_s sweeps.
+func Model(procs int) ([]ModelRow, error) {
+	var rows []ModelRow
+	for _, ws := range []int{2, 6, 12} {
+		full, err := run(limitless.Config{Procs: procs, Scheme: limitless.FullMap}, limitless.Synthetic(procs, ws))
+		if err != nil {
+			return nil, err
+		}
+		for _, ts := range []int64{50, 100} {
+			ll, err := run(limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: ts},
+				limitless.Synthetic(procs, ws))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ModelRow{
+				WorkerSet: ws,
+				Ts:        ts,
+				M:         ll.SoftwareFraction,
+				Th:        full.AvgRemoteLatency,
+				Predicted: full.AvgRemoteLatency + ll.SoftwareFraction*float64(ts),
+				Measured:  ll.AvgRemoteLatency,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ScalingRow is one point of the T_h ≫ T_s scalability experiment.
+type ScalingRow struct {
+	HopLatency int64
+	Th         float64
+	FullMap    limitless.Result
+	LimitLESS  limitless.Result
+}
+
+// Overhead returns LimitLESS execution time relative to full-map.
+func (r ScalingRow) Overhead() float64 {
+	return float64(r.LimitLESS.Cycles) / float64(r.FullMap.Cycles)
+}
+
+// Scaling grows internode latency on a 64-processor machine, emulating
+// physically larger machines, and reports the LimitLESS/full-map ratio.
+func Scaling() ([]ScalingRow, error) {
+	hops := []int64{1, 4, 8, 16}
+	var cfgs []limitless.Config
+	for _, hl := range hops {
+		cfgs = append(cfgs,
+			limitless.Config{Procs: 64, Scheme: limitless.FullMap, HopLatency: hl},
+			limitless.Config{Procs: 64, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 100, HopLatency: hl})
+	}
+	results, err := limitless.Sweep(cfgs, func(limitless.Config) limitless.Workload {
+		return limitless.Weather(64)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ScalingRow, len(hops))
+	for i, hl := range hops {
+		rows[i] = ScalingRow{
+			HopLatency: hl,
+			Th:         results[2*i].AvgRemoteLatency,
+			FullMap:    results[2*i],
+			LimitLESS:  results[2*i+1],
+		}
+	}
+	return rows, nil
+}
+
+// FIFOEvictComparison runs the rotating-reader case study with and without
+// the Section 6 FIFO-eviction handler.
+func FIFOEvictComparison(procs int) (plain, fifo limitless.Result, err error) {
+	base := limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4}
+	plain, err = run(base, limitless.RotatingReaders(procs))
+	if err != nil {
+		return
+	}
+	withFIFO := base
+	withFIFO.Migratory = []limitless.Addr{limitless.RotatingAddr()}
+	fifo, err = run(withFIFO, limitless.RotatingReaders(procs))
+	return
+}
+
+// Verify re-checks a figure's expected ordering, returning a descriptive
+// error when the shape is broken. Used by tests and by cmd/figures -check.
+func Verify(name string, bars []Bar, wantOrder []string) error {
+	byName := map[string]int64{}
+	for _, b := range bars {
+		byName[b.Name] = b.Cycles()
+	}
+	for i := 1; i < len(wantOrder); i++ {
+		a, b := wantOrder[i-1], wantOrder[i]
+		ca, oka := byName[a]
+		cb, okb := byName[b]
+		if !oka || !okb {
+			return fmt.Errorf("%s: missing bar %q or %q", name, a, b)
+		}
+		if ca < cb {
+			return fmt.Errorf("%s: expected %s (%d) >= %s (%d)", name, a, ca, b, cb)
+		}
+	}
+	return nil
+}
+
+// MemoryRow is one line of the directory-memory-overhead comparison — the
+// paper's core O(N) vs O(N²) argument (Sections 1 and 3.1).
+type MemoryRow struct {
+	Scheme       limitless.Scheme
+	Nodes        int
+	BitsPerEntry int
+}
+
+// MemoryModel tabulates per-entry directory cost across machine sizes for
+// the full-map, Dir4NB and LimitLESS4 organizations.
+func MemoryModel() []MemoryRow {
+	var rows []MemoryRow
+	for _, n := range []int{64, 256, 1024, 4096} {
+		for _, sc := range []struct {
+			s    limitless.Scheme
+			ptrs int
+		}{{limitless.FullMap, 0}, {limitless.LimitedNB, 4}, {limitless.LimitLESS, 4}} {
+			rows = append(rows, MemoryRow{
+				Scheme:       sc.s,
+				Nodes:        n,
+				BitsPerEntry: bitsPerEntry(sc.s, n, sc.ptrs),
+			})
+		}
+	}
+	return rows
+}

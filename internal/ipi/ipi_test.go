@@ -1,0 +1,146 @@
+package ipi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeClasses(t *testing.T) {
+	if Opcode(0x0001).IsInterrupt() {
+		t.Error("protocol opcode classified as interrupt")
+	}
+	if !(InterruptBit | 0x0002).IsInterrupt() {
+		t.Error("interrupt opcode not classified as interrupt")
+	}
+}
+
+func TestPacketLen(t *testing.T) {
+	p := &Packet{Op: 1, Operands: []uint64{0x100}, Data: []uint64{1, 2, 3, 4}}
+	if p.Len() != 6 {
+		t.Fatalf("Len = %d, want 6 (header + 1 operand + 4 data)", p.Len())
+	}
+	empty := &Packet{Op: 1}
+	if empty.Len() != 1 {
+		t.Fatalf("empty packet Len = %d, want 1", empty.Len())
+	}
+}
+
+func TestPacketOperandBoundsPanics(t *testing.T) {
+	p := &Packet{Op: 1, Operands: []uint64{7}}
+	if p.Operand(0) != 7 {
+		t.Fatal("Operand(0) wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Operand did not panic")
+		}
+	}()
+	p.Operand(1)
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(4)
+	for i := uint64(0); i < 3; i++ {
+		q.Push(&Packet{Op: Opcode(i)})
+	}
+	for i := uint64(0); i < 3; i++ {
+		p := q.Pop()
+		if p == nil || p.Op != Opcode(i) {
+			t.Fatalf("pop %d = %v", i, p)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop of empty queue != nil")
+	}
+}
+
+func TestQueueSpill(t *testing.T) {
+	q := NewQueue(2)
+	spills := 0
+	for i := 0; i < 5; i++ {
+		if q.Push(&Packet{Op: Opcode(i)}) {
+			spills++
+		}
+	}
+	if spills != 3 {
+		t.Fatalf("spilled %d pushes, want 3", spills)
+	}
+	if q.Overflows() != 3 {
+		t.Fatalf("Overflows = %d, want 3", q.Overflows())
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	// Order must be preserved across the spill boundary.
+	for i := 0; i < 5; i++ {
+		p := q.Pop()
+		if p.Op != Opcode(i) {
+			t.Fatalf("pop %d = op %d; spill broke FIFO order", i, p.Op)
+		}
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue(2)
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty != nil")
+	}
+	q.Push(&Packet{Op: 9})
+	if q.Peek().Op != 9 {
+		t.Fatal("Peek wrong packet")
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek consumed the packet")
+	}
+}
+
+func TestQueueRefillsFromSpill(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(&Packet{Op: 0})
+	q.Push(&Packet{Op: 1}) // spills
+	q.Pop()
+	// After the pop, the spilled packet must be reachable.
+	if p := q.Pop(); p == nil || p.Op != 1 {
+		t.Fatalf("spilled packet lost: %v", p)
+	}
+}
+
+func TestNewQueueRejectsZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewQueue(0) did not panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+// Property: any push/pop sequence preserves FIFO order and never loses or
+// duplicates packets, regardless of capacity.
+func TestQueueFIFOProperty(t *testing.T) {
+	prop := func(capRaw uint8, ops []bool) bool {
+		q := NewQueue(int(capRaw%5) + 1)
+		next := Opcode(0)
+		expect := Opcode(0)
+		for _, push := range ops {
+			if push {
+				q.Push(&Packet{Op: next})
+				next++
+			} else if p := q.Pop(); p != nil {
+				if p.Op != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		for p := q.Pop(); p != nil; p = q.Pop() {
+			if p.Op != expect {
+				return false
+			}
+			expect++
+		}
+		return expect == next && q.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,330 @@
+// Package machine assembles Alewife nodes — SPARCLE processor, 64 KB
+// direct-mapped cache, cache/memory controller, distributed directory and
+// memory, and network interface (Figure 1 of the paper) — into a complete
+// simulated multiprocessor on a wormhole-routed 2-D mesh.
+package machine
+
+import (
+	"fmt"
+
+	"limitless/internal/cache"
+	"limitless/internal/coherence"
+	"limitless/internal/directory"
+	"limitless/internal/mesh"
+	"limitless/internal/proc"
+	"limitless/internal/sim"
+	"limitless/internal/stats"
+	"limitless/internal/swdir"
+)
+
+// Block returns the block address for the index-th block homed at node
+// home (see coherence.BlockAt).
+func Block(home mesh.NodeID, index uint64) directory.Addr {
+	return coherence.BlockAt(home, index)
+}
+
+// HomeOf recovers the home node of a block address.
+func HomeOf(addr directory.Addr) mesh.NodeID {
+	return coherence.HomeOf(addr)
+}
+
+// Config describes a machine.
+type Config struct {
+	// Width and Height give the mesh shape (8×8 = the paper's 64 nodes).
+	Width, Height int
+	// Params is the coherence configuration (scheme, pointers, timing).
+	Params coherence.Params
+	// Mesh overrides network timing; zero value uses mesh.DefaultConfig.
+	Mesh *mesh.Config
+	// Contexts is the number of hardware contexts per processor (SPARCLE
+	// has 4; 1 gives a blocking processor).
+	Contexts int
+	// CacheLines overrides the cache geometry (default 4096 = 64 KB).
+	CacheLines int
+	// CacheWays sets the cache associativity (default 1, Alewife's
+	// direct-mapped geometry).
+	CacheWays int
+}
+
+// DefaultConfig returns the paper's evaluation machine: 64 processors,
+// LimitLESS with four pointers.
+func DefaultConfig() Config {
+	cfg := Config{Width: 8, Height: 8, Contexts: 1}
+	cfg.Params = coherence.DefaultParams(64)
+	return cfg
+}
+
+// Node is one Alewife processing node.
+type Node struct {
+	ID    mesh.NodeID
+	Cache *cache.Cache
+	CC    *coherence.CacheController
+	MC    *coherence.MemoryController
+	Proc  *proc.Processor
+	// Handler is the node's trap-handler mux; extensions bind per-address
+	// handlers into it.
+	Handler *swdir.Mux
+	// SW is the default LimitLESS overflow handler (nil for schemes that
+	// never trap). SWFull is the full-software FSM used by SoftwareOnly.
+	SW     *swdir.Handler
+	SWFull *swdir.SoftwareHandler
+}
+
+// Machine is the assembled multiprocessor.
+type Machine struct {
+	Eng   *sim.Engine
+	Net   *mesh.Network
+	Nodes []*Node
+	cfg   Config
+}
+
+// New builds a machine. Processors have no workloads yet; bind them with
+// SetWorkload and call Run.
+func New(cfg Config) *Machine {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		panic("machine: bad mesh shape")
+	}
+	if cfg.Contexts < 1 {
+		cfg.Contexts = 1
+	}
+	n := cfg.Width * cfg.Height
+	cfg.Params.Nodes = n
+	if cfg.Params.BlockWords == 0 {
+		cfg.Params.BlockWords = 4
+	}
+	if cfg.CacheLines == 0 {
+		cfg.CacheLines = 4096
+	}
+	if cfg.Params.Scheme == coherence.SoftwareOnly {
+		cfg.Params.DefaultMeta = directory.TrapAlways
+	}
+
+	eng := sim.New()
+	mcfg := mesh.DefaultConfig(cfg.Width, cfg.Height)
+	if cfg.Mesh != nil {
+		mcfg = *cfg.Mesh
+		mcfg.Width, mcfg.Height = cfg.Width, cfg.Height
+	}
+	nw := mesh.New(eng, mcfg)
+
+	m := &Machine{Eng: eng, Net: nw, cfg: cfg}
+	for id := mesh.NodeID(0); int(id) < n; id++ {
+		m.Nodes = append(m.Nodes, m.buildNode(id))
+	}
+	return m
+}
+
+func (m *Machine) buildNode(id mesh.NodeID) *Node {
+	cfg := m.cfg
+	c := cache.New(cache.Config{Lines: cfg.CacheLines, Ways: cfg.CacheWays, BlockWords: cfg.Params.BlockWords})
+	cc := coherence.NewCacheController(m.Eng, m.Net, id, cfg.Params, HomeOf, c)
+	p := proc.New(m.Eng, cc, cfg.Params.Timing, cfg.Contexts)
+	mc := coherence.NewMemoryController(m.Eng, m.Net, id, cfg.Params, p)
+
+	node := &Node{ID: id, Cache: c, CC: cc, MC: mc, Proc: p}
+
+	// Default trap handler by scheme. Every node gets a mux so extensions
+	// can bind special handlers even on hardware-only schemes (profiling).
+	switch cfg.Params.Scheme {
+	case coherence.SoftwareOnly:
+		node.SWFull = swdir.NewSoftware(mc)
+		node.Handler = swdir.NewMux(node.SWFull)
+	default:
+		node.SW = swdir.New(mc)
+		node.Handler = swdir.NewMux(node.SW)
+	}
+	p.Attach(mc, node.Handler)
+
+	m.Net.Register(id, func(pkt *mesh.Packet) {
+		msg, ok := pkt.Payload.(*coherence.Msg)
+		if !ok {
+			panic(fmt.Sprintf("machine: node %d received non-protocol payload %T", id, pkt.Payload))
+		}
+		if msg.Type.ToMemory() {
+			mc.Handle(pkt.Src, msg)
+		} else {
+			cc.HandleMem(pkt.Src, msg)
+		}
+	})
+	return node
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SetWorkload binds a workload to context slot of node id.
+func (m *Machine) SetWorkload(id mesh.NodeID, slot int, wl proc.Workload) {
+	m.Nodes[id].Proc.SetWorkload(slot, wl)
+}
+
+// RegisterFIFOLock declares addr a FIFO lock (Section 6) at its home node
+// and returns the handler for fairness inspection.
+func (m *Machine) RegisterFIFOLock(addr directory.Addr) *swdir.LockHandler {
+	home := m.Nodes[HomeOf(addr)]
+	h := swdir.NewLock(home.MC)
+	h.Register(addr)
+	home.Handler.Bind(addr, h)
+	return h
+}
+
+// RegisterUpdateMode declares addr update-mode coherent (Section 6): its
+// home traps every request to an update handler, and every cache routes
+// stores to it as value-carrying round trips.
+func (m *Machine) RegisterUpdateMode(addr directory.Addr) *swdir.UpdateHandler {
+	home := m.Nodes[HomeOf(addr)]
+	h := swdir.NewUpdate(home.MC)
+	h.Register(addr)
+	home.Handler.Bind(addr, h)
+	for _, n := range m.Nodes {
+		n.CC.SetUpdateMode(addr, true)
+	}
+	return h
+}
+
+// RegisterMigratory declares addr a migratory block (Section 6): pointer
+// overflows FIFO-evict the oldest reader in software instead of extending
+// the directory.
+func (m *Machine) RegisterMigratory(addr directory.Addr) *swdir.FIFOEvict {
+	home := m.Nodes[HomeOf(addr)]
+	h := swdir.NewFIFOEvict(home.MC)
+	h.Register(addr)
+	home.Handler.Bind(addr, h)
+	return h
+}
+
+// Profile places addr in Trap-Always mode at its home node so every
+// transaction is observed in software (the Section 6 profiling extension)
+// and returns the software handler recording it.
+func (m *Machine) Profile(addr directory.Addr) *swdir.SoftwareHandler {
+	home := m.Nodes[HomeOf(addr)]
+	h := swdir.NewSoftware(home.MC)
+	home.MC.Dir().Entry(addr).Meta = directory.TrapAlways
+	home.Handler.Bind(addr, h)
+	return h
+}
+
+// WorkerSetCensus returns the distribution of observed worker-set sizes
+// (per-block high-water marks of simultaneously recorded read copies)
+// across every allocated directory entry in the machine. This is the
+// measurement behind the paper's premise that "many shared data structures
+// have a small worker-set" — run it under full-map to see true sizes
+// unclipped by pointer limits.
+func (m *Machine) WorkerSetCensus() *stats.Histogram {
+	var h stats.Histogram
+	for _, n := range m.Nodes {
+		n.MC.Dir().ForEach(func(_ directory.Addr, e *directory.Entry) {
+			if e.MaxSharers > 0 {
+				h.Add(uint64(e.MaxSharers))
+			}
+		})
+	}
+	return &h
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Cycles is the total execution time — the paper's bottom-line metric.
+	Cycles sim.Time
+	// Events is the number of simulation events processed.
+	Events uint64
+	// Network is the interconnect activity summary.
+	Network mesh.Stats
+	// Coherence sums protocol counters across all nodes (both sides).
+	Coherence coherence.Stats
+	// Misses sums cache-side latency accounting across nodes.
+	Misses coherence.MissStats
+	// Proc sums processor counters across nodes.
+	Proc proc.Stats
+	// SW sums software-handler counters across nodes.
+	SW swdir.Stats
+}
+
+// AvgRemoteLatency returns measured T_h.
+func (r Result) AvgRemoteLatency() float64 { return r.Misses.AvgRemoteLatency() }
+
+// Run starts every processor and drives the simulation until all
+// workloads finish. It panics on deadlock (event queue drained with
+// processors still blocked) — in a deterministic simulator that is always
+// a protocol bug, and hiding it would corrupt experiments.
+func (m *Machine) Run() Result {
+	for _, n := range m.Nodes {
+		n.Proc.Start()
+	}
+	end := m.Eng.Run()
+	for _, n := range m.Nodes {
+		if !n.Proc.Done() {
+			panic(fmt.Sprintf("machine: deadlock — node %d still blocked at cycle %d (outstanding=%d)",
+				n.ID, end, n.CC.Outstanding()))
+		}
+	}
+	return m.collect(end)
+}
+
+// RunUntil drives the simulation to at most limit cycles, returning the
+// partial result and whether every workload finished.
+func (m *Machine) RunUntil(limit sim.Time) (Result, bool) {
+	for _, n := range m.Nodes {
+		n.Proc.Start()
+	}
+	end := m.Eng.RunUntil(limit)
+	done := true
+	for _, n := range m.Nodes {
+		if !n.Proc.Done() {
+			done = false
+		}
+	}
+	return m.collect(end), done
+}
+
+func (m *Machine) collect(end sim.Time) Result {
+	res := Result{Cycles: end, Events: m.Eng.Processed(), Network: m.Net.Stats()}
+	for _, n := range m.Nodes {
+		cs := n.CC.Stats()
+		ms := n.MC.Stats()
+		res.Coherence.Add(&cs)
+		res.Coherence.Add(&ms)
+		miss := n.CC.Misses()
+		res.Misses.Hits += miss.Hits
+		res.Misses.LocalMisses += miss.LocalMisses
+		res.Misses.LocalCycles += miss.LocalCycles
+		res.Misses.RemoteMisses += miss.RemoteMisses
+		res.Misses.RemoteCycles += miss.RemoteCycles
+		res.Misses.UncachedTrips += miss.UncachedTrips
+		ps := n.Proc.Stats()
+		res.Proc.Instructions += ps.Instructions
+		res.Proc.Loads += ps.Loads
+		res.Proc.Stores += ps.Stores
+		res.Proc.ContextSwitches += ps.ContextSwitches
+		res.Proc.TrapsServiced += ps.TrapsServiced
+		res.Proc.TrapCycles += ps.TrapCycles
+		res.Proc.BusyCycles += ps.BusyCycles
+		res.Proc.Stalls += ps.Stalls
+		if n.SW != nil {
+			sw := n.SW.Stats()
+			addSW(&res.SW, sw)
+		}
+		if n.SWFull != nil {
+			sw := n.SWFull.Stats()
+			addSW(&res.SW, sw)
+		}
+	}
+	return res
+}
+
+func addSW(dst *swdir.Stats, s swdir.Stats) {
+	dst.OverflowTraps += s.OverflowTraps
+	dst.WriteTerminations += s.WriteTerminations
+	dst.VectorsAllocated += s.VectorsAllocated
+	dst.VectorsFreed += s.VectorsFreed
+	if s.MaxResident > dst.MaxResident {
+		dst.MaxResident = s.MaxResident
+	}
+	dst.PacketsHandled += s.PacketsHandled
+	dst.InvalidationsSent += s.InvalidationsSent
+}
+
+// interface checks
+var (
+	_ coherence.TrapSink = (*proc.Processor)(nil)
+	_ proc.Handler       = (*swdir.Mux)(nil)
+)

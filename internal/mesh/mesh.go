@@ -1,0 +1,418 @@
+// Package mesh models the Alewife interconnection network: a 2-D mesh of
+// processing nodes connected by point-to-point channels, using dimension-
+// order wormhole routing (Section 2 of the paper; Seitz [21], Dally [22]).
+//
+// The model is packet-granularity wormhole: a packet's head flit advances
+// one router per HopLatency cycles, each traversed channel is occupied for
+// the packet's full length (one flit per FlitCycle), and the body pipelines
+// behind the head, so an uncontended packet is delivered after
+//
+//	inject + hops·HopLatency + flits·FlitCycle
+//
+// cycles. When a channel is busy, the head waits for it — this is what
+// produces the hot-spot queueing that Figure 8 of the paper depends on
+// (the paper notes its earlier results missed limited-directory thrashing
+// precisely because the network model "did not account for hot-spot
+// behavior"). Every node additionally has a single ejection channel, so
+// traffic converging on one node serializes at its input even when it
+// arrives over different mesh channels.
+//
+// An Ideal topology (fixed latency, contention only at ejection) is
+// provided for ablation experiments.
+package mesh
+
+import (
+	"fmt"
+
+	"limitless/internal/sim"
+)
+
+// NodeID identifies a processing node. Nodes are numbered row-major:
+// id = y*Width + x.
+type NodeID int
+
+// Topology selects the interconnect model.
+type Topology int
+
+const (
+	// Mesh2D is the paper's wormhole-routed two-dimensional mesh.
+	Mesh2D Topology = iota
+	// Ideal is a contention-free fabric with uniform latency except for
+	// per-node ejection serialization. Used for ablations.
+	Ideal
+	// Omega is a multistage shuffle-exchange network of 2x2 switches
+	// (log₂N stages), the alternative interconnect ASIM could model
+	// (Section 5.1: "either mesh or Omega topologies"). Every route has
+	// the same length; contention arises on shared inter-stage channels.
+	Omega
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Mesh2D:
+		return "mesh2d"
+	case Ideal:
+		return "ideal"
+	case Omega:
+		return "omega"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Switching selects how a mesh channel is held during a transfer.
+type Switching int
+
+const (
+	// Wormhole pipelines the packet across channels: each channel is held
+	// for the packet's length, but the head advances as soon as a channel
+	// is free (the Alewife network, Dally [22]).
+	Wormhole Switching = iota
+	// Circuit reserves the whole source-to-destination path for the
+	// duration of the transfer, as in circuit-switched interconnects
+	// (the other switching discipline ASIM modelled, Section 5.1).
+	Circuit
+)
+
+func (s Switching) String() string {
+	if s == Circuit {
+		return "circuit"
+	}
+	return "wormhole"
+}
+
+// Packet is the unit of network transfer. Payload is opaque to the network;
+// the coherence layer stores its protocol message there. Flits is the
+// packet length in flits (the paper's uniform packet format: header word +
+// operands + data words; one word per flit).
+type Packet struct {
+	Src, Dst NodeID
+	Flits    int
+	Payload  any
+}
+
+// Handler receives packets ejected at a node.
+type Handler func(pkt *Packet)
+
+// Config sets the network shape and timing.
+type Config struct {
+	Width, Height int
+	Topology      Topology
+	// Switching applies to the Mesh2D topology: wormhole (default) or
+	// circuit switched.
+	Switching     Switching
+	HopLatency    sim.Time // router pipeline delay per hop
+	FlitCycle     sim.Time // cycles per flit on a channel
+	InjectLatency sim.Time // network-interface injection overhead
+	LocalLatency  sim.Time // latency for src==dst delivery (no network)
+	IdealLatency  sim.Time // end-to-end latency for the Ideal topology
+
+	// JitterMax, when positive, adds a deterministic pseudo-random delay
+	// in [0, JitterMax) to each packet, seeded by JitterSeed. Delivery
+	// between any (source, destination) pair stays FIFO — the coherence
+	// protocol relies on in-order point-to-point delivery — but the
+	// relative order of packets on different pairs is perturbed. The
+	// protocol checker uses this to explore message interleavings.
+	JitterMax  sim.Time
+	JitterSeed uint64
+}
+
+// DefaultConfig returns timing calibrated so that a 64-node machine shows
+// the paper's T_h ≈ 35-cycle average remote access latency (Section 3.1).
+func DefaultConfig(width, height int) Config {
+	return Config{
+		Width:         width,
+		Height:        height,
+		Topology:      Mesh2D,
+		HopLatency:    1,
+		FlitCycle:     1,
+		InjectLatency: 1,
+		LocalLatency:  1,
+		IdealLatency:  8,
+	}
+}
+
+// Stats aggregates network activity over a run.
+type Stats struct {
+	Packets      uint64
+	Flits        uint64
+	TotalLatency sim.Time // sum of per-packet inject-to-eject latency
+	MaxLatency   sim.Time
+	LocalPackets uint64
+}
+
+// AvgLatency returns mean inject-to-eject latency over non-local packets.
+func (s Stats) AvgLatency() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Packets)
+}
+
+type channel struct {
+	res sim.Resource
+}
+
+// Network is the interconnect instance bound to one simulation engine.
+type Network struct {
+	eng      *sim.Engine
+	cfg      Config
+	n        int
+	handlers []Handler
+	// chans[from][dir] for mesh channels; eject[node] for ejection ports;
+	// omega[stage*width+pos] for inter-stage channels.
+	chans []channel // indexed by linkIndex
+	eject []channel
+	omega []channel
+	// omegaStages and omegaWidth describe the shuffle network (width is
+	// the node count rounded up to a power of two).
+	omegaStages, omegaWidth int
+	stats                   Stats
+
+	rng      uint64
+	pairLast map[uint64]sim.Time // last scheduled delivery per (src,dst)
+}
+
+// Directions for mesh channels out of a node.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+	numDirs
+)
+
+// New creates a network. Handlers are registered per node with Register
+// before any traffic is sent.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("mesh: non-positive dimensions")
+	}
+	n := cfg.Width * cfg.Height
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	nw := &Network{
+		eng:      eng,
+		cfg:      cfg,
+		n:        n,
+		handlers: make([]Handler, n),
+		chans:    make([]channel, n*numDirs),
+		eject:    make([]channel, n),
+		rng:      seed,
+		pairLast: make(map[uint64]sim.Time),
+	}
+	if cfg.Topology == Omega {
+		width := 1
+		stages := 0
+		for width < n {
+			width <<= 1
+			stages++
+		}
+		if stages == 0 {
+			stages = 1
+		}
+		nw.omegaWidth, nw.omegaStages = width, stages
+		nw.omega = make([]channel, stages*width)
+	}
+	return nw
+}
+
+// jitter returns the next deterministic pseudo-random delay.
+func (nw *Network) jitter() sim.Time {
+	if nw.cfg.JitterMax <= 0 {
+		return 0
+	}
+	nw.rng ^= nw.rng << 13
+	nw.rng ^= nw.rng >> 7
+	nw.rng ^= nw.rng << 17
+	return sim.Time(nw.rng % uint64(nw.cfg.JitterMax))
+}
+
+// Nodes returns the node count.
+func (nw *Network) Nodes() int { return nw.n }
+
+// Config returns the network configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Register installs the ejection handler for node id.
+func (nw *Network) Register(id NodeID, h Handler) {
+	nw.handlers[id] = h
+}
+
+// XY returns the mesh coordinates of a node.
+func (nw *Network) XY(id NodeID) (x, y int) {
+	return int(id) % nw.cfg.Width, int(id) / nw.cfg.Width
+}
+
+// ID returns the node at mesh coordinates (x, y).
+func (nw *Network) ID(x, y int) NodeID {
+	return NodeID(y*nw.cfg.Width + x)
+}
+
+// Distance returns the Manhattan hop count between two nodes.
+func (nw *Network) Distance(a, b NodeID) int {
+	ax, ay := nw.XY(a)
+	bx, by := nw.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (nw *Network) linkIndex(from NodeID, dir int) int {
+	return int(from)*numDirs + dir
+}
+
+// route returns the dimension-order (X then Y) sequence of channel indices
+// from src to dst.
+func (nw *Network) route(src, dst NodeID) []int {
+	sx, sy := nw.XY(src)
+	dx, dy := nw.XY(dst)
+	path := make([]int, 0, abs(sx-dx)+abs(sy-dy))
+	x, y := sx, sy
+	for x != dx {
+		if x < dx {
+			path = append(path, nw.linkIndex(nw.ID(x, y), dirEast))
+			x++
+		} else {
+			path = append(path, nw.linkIndex(nw.ID(x, y), dirWest))
+			x--
+		}
+	}
+	for y != dy {
+		if y < dy {
+			path = append(path, nw.linkIndex(nw.ID(x, y), dirSouth))
+			y++
+		} else {
+			path = append(path, nw.linkIndex(nw.ID(x, y), dirNorth))
+			y--
+		}
+	}
+	return path
+}
+
+// Send injects a packet at the current engine time. Delivery is scheduled
+// as an engine event invoking the destination's handler.
+func (nw *Network) Send(pkt *Packet) {
+	if pkt.Flits <= 0 {
+		panic("mesh: packet with no flits")
+	}
+	if int(pkt.Src) >= nw.n || int(pkt.Dst) >= nw.n || pkt.Src < 0 || pkt.Dst < 0 {
+		panic(fmt.Sprintf("mesh: packet endpoints out of range: %d->%d", pkt.Src, pkt.Dst))
+	}
+	now := nw.eng.Now()
+	if pkt.Src == pkt.Dst {
+		nw.stats.LocalPackets++
+		nw.deliverAt(now+nw.cfg.LocalLatency, pkt, now)
+		return
+	}
+
+	serial := sim.Time(pkt.Flits) * nw.cfg.FlitCycle
+	head := now + nw.cfg.InjectLatency
+
+	switch nw.cfg.Topology {
+	case Mesh2D:
+		path := nw.route(pkt.Src, pkt.Dst)
+		if nw.cfg.Switching == Circuit {
+			// Circuit switching: find when every channel on the path is
+			// simultaneously free (fixpoint over the path), then hold the
+			// whole circuit for the setup sweep plus the transfer.
+			start := head
+			for changed := true; changed; {
+				changed = false
+				for _, li := range path {
+					if f := nw.chans[li].res.FreeAt(start); f > start {
+						start = f
+						changed = true
+					}
+				}
+			}
+			hold := sim.Time(len(path))*nw.cfg.HopLatency + serial
+			for _, li := range path {
+				nw.chans[li].res.Claim(start, hold)
+			}
+			head = start + sim.Time(len(path))*nw.cfg.HopLatency
+			break
+		}
+		for _, li := range path {
+			start := nw.chans[li].res.Claim(head, serial)
+			head = start + nw.cfg.HopLatency
+		}
+	case Ideal:
+		head += nw.cfg.IdealLatency
+	case Omega:
+		// Destination-tag routing through the shuffle-exchange stages:
+		// after stage s the packet sits on inter-stage channel
+		// (s, shuffled position with the s-th destination bit shifted in).
+		pos := uint(pkt.Src)
+		k := nw.omegaStages
+		for s := 0; s < k; s++ {
+			bit := (uint(pkt.Dst) >> (k - 1 - s)) & 1
+			pos = ((pos << 1) | bit) & uint(nw.omegaWidth-1)
+			ch := &nw.omega[s*nw.omegaWidth+int(pos)]
+			start := ch.res.Claim(head, serial)
+			head = start + nw.cfg.HopLatency
+		}
+	}
+
+	head += nw.jitter()
+
+	// Ejection channel: all packets entering a node serialize here.
+	start := nw.eject[pkt.Dst].res.Claim(head, serial)
+	at := start + serial
+
+	// Jitter must never reorder a (src,dst) pair: enforce FIFO delivery.
+	if nw.cfg.JitterMax > 0 {
+		key := uint64(pkt.Src)<<32 | uint64(uint32(pkt.Dst))
+		if last := nw.pairLast[key]; at <= last {
+			at = last + 1
+		}
+		nw.pairLast[key] = at
+	}
+	nw.deliverAt(at, pkt, now)
+}
+
+func (nw *Network) deliverAt(at sim.Time, pkt *Packet, injected sim.Time) {
+	nw.eng.At(at, func() {
+		lat := nw.eng.Now() - injected
+		nw.stats.Packets++
+		nw.stats.Flits += uint64(pkt.Flits)
+		nw.stats.TotalLatency += lat
+		if lat > nw.stats.MaxLatency {
+			nw.stats.MaxLatency = lat
+		}
+		h := nw.handlers[pkt.Dst]
+		if h == nil {
+			panic(fmt.Sprintf("mesh: no handler registered for node %d", pkt.Dst))
+		}
+		h(pkt)
+	})
+}
+
+// ChannelUtilization returns the mean busy fraction across all mesh
+// channels given the elapsed simulated time.
+func (nw *Network) ChannelUtilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var busy sim.Time
+	for i := range nw.chans {
+		busy += nw.chans[i].res.BusyCycles()
+	}
+	return float64(busy) / float64(int64(elapsed)*int64(len(nw.chans)))
+}
+
+// EjectBusy returns total ejection-channel occupancy at a node — a direct
+// measure of hot-spot concentration.
+func (nw *Network) EjectBusy(id NodeID) sim.Time {
+	return nw.eject[id].res.BusyCycles()
+}

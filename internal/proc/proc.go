@@ -1,0 +1,341 @@
+// Package proc models the SPARCLE processor of the Alewife machine: an
+// in-order processor with a small number of hardware contexts (register
+// frames), an 11-cycle context switch taken only on memory requests that
+// must cross the interconnection network, and a finely-tuned trap
+// architecture that starts a trap handler within 5–10 cycles (Sections 2
+// and 4.1 of the paper). The processor is also the engine that runs the
+// LimitLESS software handlers: when the memory controller raises a
+// protocol interrupt, the processor claims its own pipeline for
+// TrapEntry + TrapService cycles and then executes the handler on the
+// packet at the head of the IPI input queue.
+package proc
+
+import (
+	"fmt"
+
+	"limitless/internal/coherence"
+	"limitless/internal/directory"
+	"limitless/internal/ipi"
+	"limitless/internal/sim"
+)
+
+// Kind is an instruction class in a workload stream.
+type Kind uint8
+
+const (
+	// OpLoad reads a shared-memory word.
+	OpLoad Kind = iota
+	// OpStore writes a shared-memory word.
+	OpStore
+	// OpCompute spends Cycles of local execution without memory traffic.
+	OpCompute
+	// OpRMW performs an atomic read-modify-write: Modify(old) is stored
+	// and the workload's Next receives the old value. This models the
+	// fetch-and-op operations that the paper's combining-tree barriers
+	// and lock workloads are built from.
+	OpRMW
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpCompute:
+		return "compute"
+	case OpRMW:
+		return "rmw"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is one workload instruction.
+type Op struct {
+	Kind   Kind
+	Addr   directory.Addr
+	Value  uint64                  // store value
+	Cycles sim.Time                // compute duration
+	Shared bool                    // shared datum (private-only baseline refuses to cache)
+	Modify func(old uint64) uint64 // OpRMW transform
+}
+
+// Workload is one thread of execution bound to a processor context. Next
+// is called with the value produced by the previous operation (the loaded
+// word for OpLoad, the stored value for OpStore, 0 for OpCompute), which
+// lets workloads express data-dependent control flow — spin loops,
+// combining trees, lock retries — without any extra machinery.
+type Workload interface {
+	Next(prev uint64) (Op, bool)
+}
+
+// WorkloadFunc adapts a function to the Workload interface.
+type WorkloadFunc func(prev uint64) (Op, bool)
+
+// Next implements Workload.
+func (f WorkloadFunc) Next(prev uint64) (Op, bool) { return f(prev) }
+
+// Handler runs a trapped protocol packet; swdir's handlers implement it.
+type Handler interface {
+	Handle(p *ipi.Packet)
+}
+
+// Stats counts processor activity.
+type Stats struct {
+	Instructions    uint64
+	Loads           uint64
+	Stores          uint64
+	ContextSwitches uint64
+	TrapsServiced   uint64
+	TrapCycles      sim.Time
+	BusyCycles      sim.Time
+	// StallStarted counts memory references the processor stalled on
+	// (hits, local misses, and remote misses with no other context ready).
+	Stalls uint64
+}
+
+type ctxState uint8
+
+const (
+	ctxReady ctxState = iota
+	ctxBlocked
+	ctxFinished
+)
+
+type context struct {
+	wl    Workload
+	state ctxState
+	prev  uint64
+}
+
+// Processor is one node's SPARCLE. It owns the node's execution: workload
+// instructions, context switches, and LimitLESS trap service all serialize
+// through a single pipeline resource, so trap time directly displaces
+// application time — the effect behind the paper's T_s sensitivity study.
+type Processor struct {
+	eng    *sim.Engine
+	cc     *coherence.CacheController
+	mc     *coherence.MemoryController
+	hnd    Handler
+	timing coherence.Timing
+
+	pipe     sim.Resource
+	contexts []*context
+	cur      int
+	running  bool // an instruction chain is active
+	finished int
+	stats    Stats
+	onIdle   func() // invoked when all contexts finish
+}
+
+// New creates a processor with the given hardware contexts (SPARCLE caches
+// four register frames; pass 1 for a blocking processor).
+func New(eng *sim.Engine, cc *coherence.CacheController, timing coherence.Timing, nContexts int) *Processor {
+	if nContexts < 1 {
+		panic("proc: need at least one context")
+	}
+	p := &Processor{eng: eng, cc: cc, timing: timing}
+	p.contexts = make([]*context, nContexts)
+	for i := range p.contexts {
+		p.contexts[i] = &context{state: ctxFinished}
+	}
+	p.finished = nContexts
+	return p
+}
+
+// Attach wires the processor to its node's memory controller and trap
+// handler. Called once by the machine builder (the controller needs the
+// processor as its trap sink, so construction is two-phase).
+func (p *Processor) Attach(mc *coherence.MemoryController, hnd Handler) {
+	p.mc = mc
+	p.hnd = hnd
+}
+
+// Stats returns a copy of the processor counters.
+func (p *Processor) Stats() Stats { return p.stats }
+
+// Done reports whether every context has run its workload to completion.
+func (p *Processor) Done() bool { return p.finished == len(p.contexts) }
+
+// SetWorkload binds a workload to hardware context slot. It resets the
+// slot's completion state; call before Start.
+func (p *Processor) SetWorkload(slot int, wl Workload) {
+	c := p.contexts[slot]
+	if c.state != ctxFinished {
+		panic("proc: SetWorkload on a live context")
+	}
+	c.wl = wl
+	c.state = ctxReady
+	c.prev = 0
+	p.finished--
+}
+
+// OnIdle registers a callback invoked when the last context finishes.
+func (p *Processor) OnIdle(fn func()) { p.onIdle = fn }
+
+// Start begins execution at the current simulation time.
+func (p *Processor) Start() {
+	if p.running {
+		panic("proc: Start on a running processor")
+	}
+	p.dispatch()
+}
+
+// ProtocolTrap implements coherence.TrapSink: the controller has pushed a
+// protocol packet onto the IPI input queue. The trap is synchronous — it
+// claims the pipeline as soon as the current instruction completes — and
+// costs TrapEntry to reach the handler plus TrapService (T_s) to run it.
+func (p *Processor) ProtocolTrap() {
+	if p.mc == nil || p.hnd == nil {
+		panic("proc: protocol trap before Attach")
+	}
+	cost := p.timing.TrapEntry + p.timing.TrapService
+	start := p.pipe.Claim(p.eng.Now(), cost)
+	p.stats.TrapsServiced++
+	p.stats.TrapCycles += cost
+	p.stats.BusyCycles += cost
+	p.eng.At(start+cost, func() {
+		pkt := p.mc.IPIQueue().Pop()
+		if pkt == nil {
+			panic("proc: protocol trap with empty IPI queue")
+		}
+		p.hnd.Handle(pkt)
+	})
+}
+
+// dispatch picks the next ready context and runs it. With no ready context
+// the processor idles; a completion callback re-dispatches.
+func (p *Processor) dispatch() {
+	p.running = false
+	if p.Done() {
+		if p.onIdle != nil {
+			fn := p.onIdle
+			p.onIdle = nil
+			fn()
+		}
+		return
+	}
+	// Prefer the current context (no switch cost), then round-robin.
+	n := len(p.contexts)
+	for off := 0; off < n; off++ {
+		idx := (p.cur + off) % n
+		if p.contexts[idx].state != ctxReady {
+			continue
+		}
+		p.running = true
+		if idx != p.cur && n > 1 {
+			p.stats.ContextSwitches++
+			p.cur = idx
+			start := p.pipe.Claim(p.eng.Now(), p.timing.ContextSwitch)
+			p.stats.BusyCycles += p.timing.ContextSwitch
+			p.eng.At(start+p.timing.ContextSwitch, func() { p.step(p.contexts[idx]) })
+			return
+		}
+		p.cur = idx
+		p.step(p.contexts[idx])
+		return
+	}
+	// Nothing ready: idle until a memory completion re-dispatches.
+}
+
+// step executes one instruction of ctx.
+func (p *Processor) step(c *context) {
+	op, ok := c.wl.Next(c.prev)
+	if !ok {
+		c.state = ctxFinished
+		p.finished++
+		p.dispatch()
+		return
+	}
+	p.stats.Instructions++
+
+	switch op.Kind {
+	case OpCompute:
+		if op.Cycles < 1 {
+			op.Cycles = 1
+		}
+		c.prev = 0
+		p.compute(c, op.Cycles)
+
+	case OpLoad, OpStore, OpRMW:
+		if op.Kind == OpLoad {
+			p.stats.Loads++
+		} else {
+			p.stats.Stores++
+		}
+		// Issue occupies the pipeline for one cycle; the reference itself
+		// proceeds in the cache controller.
+		start := p.pipe.Claim(p.eng.Now(), 1)
+		p.stats.BusyCycles++
+		c.state = ctxBlocked
+		p.eng.At(start+1, func() { p.issue(c, op) })
+
+	default:
+		panic(fmt.Sprintf("proc: unknown op kind %v", op.Kind))
+	}
+}
+
+// computeSlice bounds a single pipeline claim for local work. Compute
+// operations stand for runs of ordinary instructions, so a synchronous
+// trap (or another context) must be able to interleave at instruction
+// granularity — a 1000-cycle compute must not make the IPI handler wait
+// 1000 cycles (Section 4.2: IPI input traps are synchronous).
+const computeSlice = sim.Time(16)
+
+// compute burns cycles of local work in preemptible slices.
+func (p *Processor) compute(c *context, remaining sim.Time) {
+	slice := remaining
+	if slice > computeSlice {
+		slice = computeSlice
+	}
+	start := p.pipe.Claim(p.eng.Now(), slice)
+	p.stats.BusyCycles += slice
+	p.eng.At(start+slice, func() {
+		if remaining > slice {
+			p.compute(c, remaining-slice)
+			return
+		}
+		p.step(c)
+	})
+}
+
+// issue hands a memory reference to the cache controller and decides
+// whether to stall or context-switch.
+func (p *Processor) issue(c *context, op Op) {
+	req := coherence.Request{
+		Addr:   op.Addr,
+		Value:  op.Value,
+		Shared: op.Shared,
+		Done: func(v uint64) {
+			c.prev = v
+			c.state = ctxReady
+			if !p.running {
+				p.dispatch()
+			}
+		},
+	}
+	switch op.Kind {
+	case OpStore:
+		req.Op = coherence.Store
+	case OpRMW:
+		if op.Modify == nil {
+			panic("proc: OpRMW without Modify")
+		}
+		req.Op = coherence.Store
+		req.Modify = op.Modify
+	}
+	outcome := p.cc.Access(req)
+
+	if outcome == coherence.OutcomeMissRemote && len(p.contexts) > 1 {
+		// "The Alewife processors rapidly schedule another process in
+		// place of the stalled process" — switch if anyone is ready.
+		p.dispatch()
+		return
+	}
+	// Hits, local misses, and remote misses with nothing else to run
+	// stall the processor (Section 2: context switches are forced only on
+	// remote requests).
+	p.stats.Stalls++
+	p.running = false
+}

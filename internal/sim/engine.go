@@ -1,0 +1,168 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underlies the Alewife machine model.
+//
+// The engine maintains a priority queue of events ordered by (time, sequence
+// number). Because ties are broken by the order in which events were
+// scheduled, a simulation run is fully deterministic: the same configuration
+// always produces the same event interleaving and therefore the same cycle
+// counts. Determinism is what lets the test suite assert exact execution
+// times and lets the protocol model checker replay interleavings.
+//
+// Time is measured in processor clock cycles (the paper reports all results
+// in cycles of the 33 MHz SPARCLE clock).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in processor cycles.
+type Time int64
+
+// Forever is a Time later than any reachable simulation time.
+const Forever Time = math.MaxInt64
+
+// Event is a unit of scheduled work. The callback runs at the event's
+// deadline with the engine clock already advanced to that deadline.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index; -1 when not queued
+	fn    func()
+}
+
+// Time returns the cycle at which the event fires.
+func (e *Event) Time() Time { return e.at }
+
+// Scheduled reports whether the event is still pending in the queue.
+func (e *Event) Scheduled() bool { return e.index >= 0 }
+
+// eventQueue implements heap.Interface over pending events.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// The zero value is ready to use. Engine is not safe for concurrent use;
+// one simulation runs on one goroutine. Run many engines in parallel for
+// parameter sweeps.
+type Engine struct {
+	now       Time
+	seq       uint64
+	queue     eventQueue
+	processed uint64
+}
+
+// New returns an engine with the clock at cycle 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already ran (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its deadline. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with deadlines at or before limit. Events
+// scheduled beyond limit stay queued. It returns the time of the last
+// executed event (or the unchanged clock when nothing ran). The clock never
+// advances past limit.
+func (e *Engine) RunUntil(limit Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= limit {
+		e.Step()
+	}
+	return e.now
+}
+
+// RunWhile executes events for as long as cond returns true and events
+// remain. cond is evaluated before each event.
+func (e *Engine) RunWhile(cond func() bool) Time {
+	for len(e.queue) > 0 && cond() {
+		e.Step()
+	}
+	return e.now
+}

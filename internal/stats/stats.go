@@ -1,0 +1,162 @@
+// Package stats provides the small reporting toolkit the experiment
+// drivers share: power-of-two latency histograms, aligned text tables for
+// regenerating the paper's figures as rows/series, and bar rendering for
+// terminal output.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram buckets non-negative samples by power of two: bucket k holds
+// values in [2^k, 2^(k+1)) with bucket 0 holding {0, 1}.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	k := 0
+	if v > 1 {
+		k = bits.Len64(v) - 1
+	}
+	h.buckets[k]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100])
+// at bucket granularity.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for k, n := range h.buckets {
+		seen += n
+		if seen > target {
+			if k == 0 {
+				return 1
+			}
+			return 1<<(k+1) - 1
+		}
+	}
+	return h.max
+}
+
+// String renders the non-empty buckets.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f max=%d", h.count, h.Mean(), h.max)
+	for k, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if k > 0 {
+			lo = 1 << k
+		}
+		fmt.Fprintf(&b, " [%d:%d)=%d", lo, uint64(1)<<(k+1), n)
+	}
+	return b.String()
+}
+
+// Table accumulates rows and renders them with aligned columns — the
+// format cmd/figures uses for every reproduced table and figure.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, hd := range t.header {
+		widths[i] = len(hd)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Bar renders a proportional bar of value against max using width cells,
+// echoing the paper's horizontal bar charts in terminal output.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	want := float64(0+1+2+3+4+100) / 6
+	if h.Mean() != want {
+		t.Fatalf("mean = %v, want %v", h.Mean(), want)
+	}
+	if !strings.Contains(h.String(), "n=6") {
+		t.Fatalf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 50 {
+		t.Fatalf("p50 upper bound = %d, want >= 50", p50)
+	}
+	p100 := h.Percentile(100)
+	if p100 < h.Max() {
+		t.Fatalf("p100 = %d < max %d", p100, h.Max())
+	}
+}
+
+// Property: percentile is monotone in p and bounded by bucket geometry.
+func TestHistogramPercentileMonotone(t *testing.T) {
+	prop := func(samples []uint16) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Add(uint64(s))
+		}
+		prev := uint64(0)
+		for p := 0.0; p <= 100; p += 10 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("scheme", "cycles")
+	tb.Row("full-map", 123456)
+	tb.Row("limitless", 7.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "scheme") || !strings.Contains(lines[3], "7.50") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	// Columns align: "cycles" starts at the same offset in every line.
+	idx := strings.Index(lines[0], "cycles")
+	if !strings.HasPrefix(lines[2][idx:], "123456") {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Fatalf("clamped Bar = %q", got)
+	}
+	if got := Bar(1, 0, 10); got != "" {
+		t.Fatalf("Bar with zero max = %q", got)
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"limitless/internal/coherence"
+	"limitless/internal/directory"
+	"limitless/internal/mesh"
+)
+
+// GenConfig parameterizes the synthetic uniprocessor-trace generator. The
+// generated trace has the Weather case study's sharing structure (hot
+// variable, worker-set-2 neighbour variables, private work, barriers) in
+// the interleaved single-stream form a post-mortem scheduler consumes.
+type GenConfig struct {
+	Threads      int
+	Phases       int
+	HotReads     int // hot-variable reads per thread per phase
+	NeighborVars int // worker-set-2 variables per thread
+	Compute      uint32
+	OptimizeHot  bool
+}
+
+// DefaultGen returns a generator configuration matching the Weather
+// reproduction at the given thread count.
+func DefaultGen(threads int) GenConfig {
+	return GenConfig{
+		Threads:      threads,
+		Phases:       4,
+		HotReads:     4,
+		NeighborVars: 2,
+		Compute:      120,
+	}
+}
+
+// hot is the trace's hot-spot variable, homed at node 0.
+func (cfg GenConfig) hot() directory.Addr { return coherence.BlockAt(0, 0) }
+
+func (cfg GenConfig) neighborVar(th, k int) directory.Addr {
+	return coherence.BlockAt(mesh.NodeID(th), uint64(1+k))
+}
+
+func (cfg GenConfig) private(th int) directory.Addr {
+	return coherence.BlockAt(mesh.NodeID(th), 2000)
+}
+
+// Generate produces the interleaved trace: thread 0's phase records, then
+// thread 1's, and so on, with a Barrier record per thread per phase — the
+// "uniprocessor execution trace that has embedded synchronization
+// information" of Section 5.1.
+func Generate(cfg GenConfig) []Event {
+	var out []Event
+	emit := func(e Event) { out = append(out, e) }
+
+	// Initialization: thread 0 writes the hot variable once.
+	emit(Event{Thread: 0, Kind: Store, Addr: cfg.hot(), Value: 1, Shared: true})
+
+	for phase := 0; phase < cfg.Phases; phase++ {
+		for th := 0; th < cfg.Threads; th++ {
+			u := uint32(th)
+			for j := 0; j < cfg.HotReads; j++ {
+				if cfg.OptimizeHot || th == 0 {
+					emit(Event{Thread: u, Kind: Load, Addr: cfg.private(th), Shared: false})
+				} else {
+					emit(Event{Thread: u, Kind: Load, Addr: cfg.hot(), Shared: true})
+				}
+				emit(Event{Thread: u, Kind: Compute, Cycles: cfg.Compute / uint32(cfg.HotReads)})
+			}
+			for k := 0; k < cfg.NeighborVars; k++ {
+				own := cfg.neighborVar(th, k)
+				emit(Event{Thread: u, Kind: Load, Addr: own, Shared: true})
+				emit(Event{Thread: u, Kind: Store, Addr: own, Value: uint64(phase + 1), Shared: true})
+				succ := cfg.neighborVar((th+1)%cfg.Threads, k)
+				emit(Event{Thread: u, Kind: Load, Addr: succ, Shared: true})
+			}
+			emit(Event{Thread: u, Kind: Store, Addr: cfg.private(th), Value: uint64(phase), Shared: false})
+			emit(Event{Thread: u, Kind: Barrier})
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+
+	"limitless/internal/proc"
+	"limitless/internal/sim"
+)
+
+// PostMortem is the dynamic post-mortem trace scheduler: it converts a
+// multi-thread trace into per-processor workloads whose progress is gated
+// by the simulated memory system (network feedback) and whose barriers are
+// re-enacted by the scheduler itself, without generating memory traffic —
+// exactly the technique the paper inherited from [25, 26].
+type PostMortem struct {
+	perThread map[uint32][]Event
+	order     []uint32
+	// barrier bookkeeping, shared by all thread players
+	arrived  map[int]int // barrier index -> arrival count
+	released map[int]bool
+	threads  int
+	// PollCycles is the local re-check interval while a thread waits at a
+	// scheduler barrier.
+	PollCycles sim.Time
+}
+
+// NewPostMortem prepares a scheduler for the trace. The trace's threads
+// are assigned one per processor in ascending thread-id order, so the
+// machine must have at least Threads(events) processors.
+func NewPostMortem(events []Event) (*PostMortem, error) {
+	if err := Validate(events); err != nil {
+		return nil, err
+	}
+	per := Split(events)
+	pm := &PostMortem{
+		perThread:  per,
+		arrived:    make(map[int]int),
+		released:   make(map[int]bool),
+		threads:    len(per),
+		PollCycles: 16,
+	}
+	for th := range per {
+		pm.order = append(pm.order, th)
+	}
+	// Ascending thread order for deterministic assignment.
+	for i := 0; i < len(pm.order); i++ {
+		for j := i + 1; j < len(pm.order); j++ {
+			if pm.order[j] < pm.order[i] {
+				pm.order[i], pm.order[j] = pm.order[j], pm.order[i]
+			}
+		}
+	}
+	return pm, nil
+}
+
+// Threads returns the number of trace threads (= workloads produced).
+func (pm *PostMortem) Threads() int { return pm.threads }
+
+// Workloads returns one workload per trace thread, in thread-id order.
+// Bind workload i to processor i.
+func (pm *PostMortem) Workloads() []proc.Workload {
+	out := make([]proc.Workload, 0, pm.threads)
+	for _, th := range pm.order {
+		out = append(out, &player{pm: pm, events: pm.perThread[th]})
+	}
+	return out
+}
+
+// player replays one thread's events through the proc.Workload interface.
+type player struct {
+	pm       *PostMortem
+	events   []Event
+	i        int
+	barrier  int  // next barrier index for this thread
+	waiting  bool // parked at a scheduler barrier
+	arrivedB int  // barrier currently waited on
+}
+
+// Next implements proc.Workload.
+func (p *player) Next(_ uint64) (proc.Op, bool) {
+	if p.waiting {
+		if p.pm.released[p.arrivedB] {
+			p.waiting = false
+		} else {
+			// Scheduler barrier: re-enacted synchronization burns local
+			// poll cycles, not memory traffic.
+			return proc.Op{Kind: proc.OpCompute, Cycles: p.pm.PollCycles}, true
+		}
+	}
+	for p.i < len(p.events) {
+		e := p.events[p.i]
+		p.i++
+		switch e.Kind {
+		case Load:
+			return proc.Op{Kind: proc.OpLoad, Addr: e.Addr, Shared: e.Shared}, true
+		case Store:
+			return proc.Op{Kind: proc.OpStore, Addr: e.Addr, Value: e.Value, Shared: e.Shared}, true
+		case Compute:
+			return proc.Op{Kind: proc.OpCompute, Cycles: sim.Time(e.Cycles)}, true
+		case Barrier:
+			b := p.barrier
+			p.barrier++
+			p.pm.arrived[b]++
+			if p.pm.arrived[b] == p.pm.threads {
+				p.pm.released[b] = true
+				continue // last arriver passes straight through
+			}
+			p.waiting = true
+			p.arrivedB = b
+			return proc.Op{Kind: proc.OpCompute, Cycles: p.pm.PollCycles}, true
+		default:
+			panic(fmt.Sprintf("trace: player hit unknown kind %v", e.Kind))
+		}
+	}
+	return proc.Op{}, false
+}

@@ -1,0 +1,186 @@
+// Package trace implements the paper's second input source (Section 5.1,
+// right side of Figure 6): dynamic post-mortem trace scheduling. A
+// uniprocessor execution trace with embedded synchronization information
+// is split into threads and re-executed on the simulated machine; each
+// processor's next trace reference issues only after its previous one
+// completes, so the schedule incorporates feedback from the network, and
+// barrier synchronization is re-enacted by the scheduler rather than
+// simulated as memory traffic (Cherian [25], Kurihara [26]).
+//
+// Traces are stored in a compact little-endian binary format so large
+// workloads can be generated once and replayed under every protocol.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"limitless/internal/directory"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// Load is a shared-memory read.
+	Load Kind = iota
+	// Store is a shared-memory write.
+	Store
+	// Compute is local work measured in cycles.
+	Compute
+	// Barrier is an embedded synchronization point: the thread blocks
+	// until every thread reaches the same barrier index.
+	Barrier
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Compute:
+		return "compute"
+	case Barrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	Thread uint32
+	Kind   Kind
+	// Addr is the block address for Load/Store.
+	Addr directory.Addr
+	// Value is the stored value for Store.
+	Value uint64
+	// Cycles is the duration for Compute.
+	Cycles uint32
+	// Shared marks data touched by more than one thread.
+	Shared bool
+}
+
+// magic and version identify the on-disk format.
+const (
+	magic   uint32 = 0x414C5754 // "ALWT"
+	version uint32 = 1
+)
+
+// Write encodes events to w.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{magic, version, uint32(len(events))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("trace: writing header: %w", err)
+		}
+	}
+	for i, e := range events {
+		flags := uint8(0)
+		if e.Shared {
+			flags = 1
+		}
+		rec := struct {
+			Thread uint32
+			Kind   uint8
+			Flags  uint8
+			Pad    uint16
+			Addr   uint64
+			Value  uint64
+			Cycles uint32
+			Pad2   uint32
+		}{e.Thread, uint8(e.Kind), flags, 0, uint64(e.Addr), e.Value, e.Cycles, 0}
+		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			return fmt.Errorf("trace: writing event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace written by Write.
+func Read(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if hdr[0] != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[1])
+	}
+	events := make([]Event, hdr[2])
+	for i := range events {
+		var rec struct {
+			Thread uint32
+			Kind   uint8
+			Flags  uint8
+			Pad    uint16
+			Addr   uint64
+			Value  uint64
+			Cycles uint32
+			Pad2   uint32
+		}
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+		events[i] = Event{
+			Thread: rec.Thread,
+			Kind:   Kind(rec.Kind),
+			Addr:   directory.Addr(rec.Addr),
+			Value:  rec.Value,
+			Cycles: rec.Cycles,
+			Shared: rec.Flags&1 != 0,
+		}
+	}
+	return events, nil
+}
+
+// Split groups a trace by thread, preserving per-thread order.
+func Split(events []Event) map[uint32][]Event {
+	out := make(map[uint32][]Event)
+	for _, e := range events {
+		out[e.Thread] = append(out[e.Thread], e)
+	}
+	return out
+}
+
+// Threads returns the number of distinct threads in the trace.
+func Threads(events []Event) int {
+	seen := make(map[uint32]bool)
+	for _, e := range events {
+		seen[e.Thread] = true
+	}
+	return len(seen)
+}
+
+// Validate checks structural trace properties: every thread reaches the
+// same number of barriers, and kinds are known.
+func Validate(events []Event) error {
+	barriers := make(map[uint32]int)
+	for i, e := range events {
+		if e.Kind > Barrier {
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+		}
+		if e.Kind == Barrier {
+			barriers[e.Thread]++
+		}
+	}
+	want := -1
+	for th, n := range barriers {
+		if want == -1 {
+			want = n
+		}
+		if n != want {
+			return fmt.Errorf("trace: thread %d reaches %d barriers, others reach %d", th, n, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"limitless/internal/coherence"
+	"limitless/internal/directory"
+	"limitless/internal/machine"
+	"limitless/internal/mesh"
+	"limitless/internal/trace"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	events := []trace.Event{
+		{Thread: 0, Kind: trace.Store, Addr: 0x100, Value: 7, Shared: true},
+		{Thread: 1, Kind: trace.Load, Addr: 0x100, Shared: true},
+		{Thread: 0, Kind: trace.Compute, Cycles: 50},
+		{Thread: 0, Kind: trace.Barrier},
+		{Thread: 1, Kind: trace.Barrier},
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := trace.Read(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := trace.Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(raw []struct {
+		Thread uint8
+		Kind   uint8
+		Addr   uint32
+		Value  uint16
+		Cycles uint16
+		Shared bool
+	}) bool {
+		events := make([]trace.Event, len(raw))
+		for i, r := range raw {
+			events[i] = trace.Event{
+				Thread: uint32(r.Thread),
+				Kind:   trace.Kind(r.Kind % 4),
+				Addr:   directory.Addr(r.Addr),
+				Value:  uint64(r.Value),
+				Cycles: uint32(r.Cycles),
+				Shared: r.Shared,
+			}
+		}
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, events); err != nil {
+			return false
+		}
+		got, err := trace.Read(&buf)
+		if err != nil || len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesUnbalancedBarriers(t *testing.T) {
+	bad := []trace.Event{
+		{Thread: 0, Kind: trace.Barrier},
+		{Thread: 0, Kind: trace.Barrier},
+		{Thread: 1, Kind: trace.Barrier},
+	}
+	if err := trace.Validate(bad); err == nil {
+		t.Fatal("unbalanced barriers accepted")
+	}
+}
+
+func TestSplitAndThreads(t *testing.T) {
+	events := trace.Generate(trace.DefaultGen(4))
+	if got := trace.Threads(events); got != 4 {
+		t.Fatalf("threads = %d", got)
+	}
+	per := trace.Split(events)
+	total := 0
+	for _, evs := range per {
+		total += len(evs)
+	}
+	if total != len(events) {
+		t.Fatalf("split lost events: %d != %d", total, len(events))
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 9} {
+		events := trace.Generate(trace.DefaultGen(n))
+		if err := trace.Validate(events); err != nil {
+			t.Fatalf("generated trace invalid for %d threads: %v", n, err)
+		}
+	}
+}
+
+// runTrace replays a trace on a machine under the given scheme.
+func runTrace(t *testing.T, events []trace.Event, scheme coherence.Scheme, ptrs int) machine.Result {
+	t.Helper()
+	pm, err := trace.NewPostMortem(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := coherence.DefaultParams(4)
+	params.Scheme = scheme
+	params.Pointers = ptrs
+	m := machine.New(machine.Config{Width: 2, Height: 2, Contexts: 1, Params: params})
+	for i, wl := range pm.Workloads() {
+		m.SetWorkload(mesh.NodeID(i), 0, wl)
+	}
+	return m.Run()
+}
+
+func TestPostMortemReplaysToCompletion(t *testing.T) {
+	events := trace.Generate(trace.DefaultGen(4))
+	for _, sc := range []struct {
+		s coherence.Scheme
+		p int
+	}{{coherence.FullMap, 0}, {coherence.LimitedNB, 2}, {coherence.LimitLESS, 2}} {
+		res := runTrace(t, events, sc.s, sc.p)
+		if res.Cycles <= 0 {
+			t.Fatalf("%v: no progress", sc.s)
+		}
+		if res.Proc.Loads == 0 || res.Proc.Stores == 0 {
+			t.Fatalf("%v: trace produced no memory traffic", sc.s)
+		}
+	}
+}
+
+func TestPostMortemBarriersSynchronize(t *testing.T) {
+	// Thread 1 computes for a long time before the barrier; thread 0's
+	// post-barrier store must not be visible... instead verify by cycle
+	// count: the run must last at least as long as the slowest thread's
+	// pre-barrier work.
+	events := []trace.Event{
+		{Thread: 0, Kind: trace.Barrier},
+		{Thread: 0, Kind: trace.Store, Addr: 0x40, Value: 1, Shared: true},
+		{Thread: 1, Kind: trace.Compute, Cycles: 5000},
+		{Thread: 1, Kind: trace.Barrier},
+	}
+	res := runTrace(t, events, coherence.FullMap, 0)
+	if res.Cycles < 5000 {
+		t.Fatalf("run finished at %d, before thread 1's pre-barrier work", res.Cycles)
+	}
+}
+
+func TestPostMortemHotSpotShapeSurvivesReplay(t *testing.T) {
+	// The limited-vs-LimitLESS comparison must hold through the trace path
+	// too (this is how the paper actually ran Weather).
+	gen := trace.DefaultGen(4)
+	gen.Phases = 6
+	events := trace.Generate(gen)
+	lim := runTrace(t, events, coherence.LimitedNB, 1)
+	ll := runTrace(t, events, coherence.LimitLESS, 1)
+	if lim.Coherence.Evictions == 0 {
+		t.Error("trace replay produced no limited-directory evictions")
+	}
+	if ll.Coherence.Traps == 0 {
+		t.Error("trace replay produced no LimitLESS traps")
+	}
+}
+
+func TestNewPostMortemRejectsInvalid(t *testing.T) {
+	bad := []trace.Event{{Thread: 0, Kind: trace.Barrier}, {Thread: 1, Kind: trace.Kind(9)}}
+	if _, err := trace.NewPostMortem(bad); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[trace.Kind]string{
+		trace.Load: "load", trace.Store: "store", trace.Compute: "compute",
+		trace.Barrier: "barrier", trace.Kind(9): "Kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", k, k.String(), want)
+		}
+	}
+}

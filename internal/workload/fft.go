@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"limitless/internal/coherence"
+	"limitless/internal/directory"
+	"limitless/internal/mesh"
+	"limitless/internal/proc"
+	"limitless/internal/sim"
+)
+
+// FFTConfig drives a butterfly-exchange computation: log₂(Procs) stages,
+// each pairing processor p with partner p XOR 2^stage. Every shared block
+// has a worker-set of exactly two, but — unlike the fixed neighbour pairs
+// of Weather — the *identity* of the sharer changes every stage, so
+// directory pointers turn over constantly. This is the access pattern
+// where a single hardware pointer (or a chained list head) is enough in
+// principle, and where eviction-free schemes shine.
+type FFTConfig struct {
+	Procs         int // power of two
+	Iters         int // full butterfly passes
+	ComputeCycles sim.Time
+	BarrierFanIn  int
+}
+
+// DefaultFFT returns the configuration used by the FFT benchmarks.
+func DefaultFFT(nprocs int) FFTConfig {
+	return FFTConfig{Procs: nprocs, Iters: 3, ComputeCycles: 120, BarrierFanIn: 4}
+}
+
+// stages returns log2(Procs).
+func (cfg FFTConfig) stages() int {
+	s := 0
+	for 1<<s < cfg.Procs {
+		s++
+	}
+	return s
+}
+
+// cell returns processor p's published block (homed at p).
+func (cfg FFTConfig) cell(p int) directory.Addr {
+	return coherence.BlockAt(mesh.NodeID(p), 900)
+}
+
+// FFT builds one workload per processor. Procs must be a power of two.
+func FFT(cfg FFTConfig) []proc.Workload {
+	if cfg.Procs&(cfg.Procs-1) != 0 || cfg.Procs == 0 {
+		panic("workload: FFT needs a power-of-two processor count")
+	}
+	if cfg.BarrierFanIn == 0 {
+		cfg.BarrierFanIn = 4
+	}
+	bar := NewBarrier(cfg.Procs, cfg.BarrierFanIn, SequentialAllocator(5000))
+	stages := cfg.stages()
+
+	wls := make([]proc.Workload, cfg.Procs)
+	for p := 0; p < cfg.Procs; p++ {
+		p := p
+		wls[p] = NewThread(func(t *Thread) {
+			epoch := uint64(0)
+			Loop(t, cfg.Iters, func(iter int, t *Thread, nextIter func(*Thread)) {
+				Loop(t, stages, func(stage int, t *Thread, nextStage func(*Thread)) {
+					partner := p ^ (1 << stage)
+					// Publish this processor's intermediate result, read
+					// the partner's, combine locally, and synchronize the
+					// stage.
+					t.Store(cfg.cell(p), uint64(iter*stages+stage+1), func(_ uint64, t *Thread) {
+						t.Load(cfg.cell(partner), func(_ uint64, t *Thread) {
+							t.Compute(cfg.ComputeCycles, func(_ uint64, t *Thread) {
+								epoch++
+								bar.Wait(t, p, epoch, nextStage)
+							})
+						})
+					})
+				}, nextIter)
+			}, func(*Thread) {})
+		})
+	}
+	return wls
+}

@@ -1,0 +1,50 @@
+package workload_test
+
+import (
+	"testing"
+
+	"limitless/internal/coherence"
+	"limitless/internal/directory"
+	"limitless/internal/machine"
+	"limitless/internal/mesh"
+	"limitless/internal/workload"
+)
+
+// Regression: the rotating-reader pattern must produce the textbook
+// LimitLESS sequence — overflow traps at readers 5, 10 and 15, and a final
+// write termination that invalidates every recorded copy. An earlier
+// processor model let long Compute operations block trap service, which
+// pushed reads past the final write and corrupted this accounting (fixed
+// by preemptible compute slices in internal/proc).
+func TestRotatingReadersVectorAccounting(t *testing.T) {
+	params := coherence.DefaultParams(16)
+	params.Scheme = coherence.LimitLESS
+	params.Pointers = 4
+	m := machine.New(machine.Config{Width: 4, Height: 4, Contexts: 1, Params: params})
+	cfg := workload.RotatingConfig{Procs: 16}
+	for i, wl := range workload.RotatingReaders(cfg) {
+		m.SetWorkload(mesh.NodeID(i), 0, wl)
+	}
+	res := m.Run()
+
+	if res.Coherence.PointerOverflows != 3 {
+		t.Errorf("overflows = %d, want 3 (readers 5, 10, 15)", res.Coherence.PointerOverflows)
+	}
+	if res.Coherence.Traps != 4 {
+		t.Errorf("traps = %d, want 4 (3 overflows + 1 write termination)", res.Coherence.Traps)
+	}
+	if res.Coherence.InvalidationsSent != 15 {
+		t.Errorf("invalidations = %d, want 15 (every reader except the writer)",
+			res.Coherence.InvalidationsSent)
+	}
+	e := m.Nodes[0].MC.Dir().Entry(cfg.RotAddr())
+	if e.State != directory.ReadWrite || e.Meta != directory.Normal {
+		t.Errorf("final entry state=%v meta=%v, want Read-Write/Normal", e.State, e.Meta)
+	}
+	if e.MaxSharers != 15 {
+		t.Errorf("worker-set watermark = %d, want 15", e.MaxSharers)
+	}
+	if sw := m.Nodes[0].SW.Stats(); sw.VectorsFreed != 1 || m.Nodes[0].SW.Resident() != 0 {
+		t.Errorf("vector not freed after termination: %+v resident=%d", sw, m.Nodes[0].SW.Resident())
+	}
+}

@@ -1,0 +1,87 @@
+package workload_test
+
+import (
+	"testing"
+
+	"limitless/internal/coherence"
+	"limitless/internal/machine"
+	"limitless/internal/mesh"
+	"limitless/internal/sim"
+	"limitless/internal/workload"
+)
+
+// runWeather64 runs the default Weather workload on the paper's 64-node
+// machine under one configuration.
+func runWeather64(t *testing.T, s coherence.Scheme, ptrs int, ts sim.Time) machine.Result {
+	t.Helper()
+	p := coherence.DefaultParams(64)
+	p.Scheme = s
+	p.Pointers = ptrs
+	if ts > 0 {
+		p.Timing.TrapService = ts
+	}
+	m := machine.New(machine.Config{Width: 8, Height: 8, Contexts: 1, Params: p})
+	for i, wl := range workload.Weather(workload.DefaultWeather(64)) {
+		m.SetWorkload(mesh.NodeID(i), 0, wl)
+	}
+	return m.Run()
+}
+
+// TestWeatherFigureShapes asserts the qualitative results of Figures 8-10
+// at the paper's 64-processor scale: who wins, in what order, with roughly
+// what separation. (cmd/figures prints the full series.)
+func TestWeatherFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node sweep")
+	}
+	full := runWeather64(t, coherence.FullMap, 0, 0)
+	d1 := runWeather64(t, coherence.LimitedNB, 1, 0)
+	d2 := runWeather64(t, coherence.LimitedNB, 2, 0)
+	d4 := runWeather64(t, coherence.LimitedNB, 4, 0)
+	ll1 := runWeather64(t, coherence.LimitLESS, 1, 50)
+	ll2 := runWeather64(t, coherence.LimitLESS, 2, 50)
+	ll4 := runWeather64(t, coherence.LimitLESS, 4, 50)
+	ts25 := runWeather64(t, coherence.LimitLESS, 4, 25)
+	ts150 := runWeather64(t, coherence.LimitLESS, 4, 150)
+
+	ratio := func(a, b machine.Result) float64 { return float64(a.Cycles) / float64(b.Cycles) }
+
+	// Figure 8: every limited variant far slower than full-map.
+	for _, d := range []struct {
+		name string
+		res  machine.Result
+	}{{"Dir1NB", d1}, {"Dir2NB", d2}, {"Dir4NB", d4}} {
+		if r := ratio(d.res, full); r < 1.5 {
+			t.Errorf("%s/full-map = %.2f, want >= 1.5 (hot-spot thrash missing)", d.name, r)
+		}
+	}
+	if d1.Cycles < d4.Cycles {
+		t.Errorf("Dir1NB (%d) faster than Dir4NB (%d)", d1.Cycles, d4.Cycles)
+	}
+
+	// Figure 9: LimitLESS4 lands near full-map, far under Dir4NB, and
+	// degrades monotonically with T_s.
+	if r := ratio(ll4, full); r > 1.35 {
+		t.Errorf("LimitLESS4(Ts=50)/full-map = %.2f, want <= 1.35", r)
+	}
+	if ll4.Cycles >= d4.Cycles {
+		t.Errorf("LimitLESS4 (%d) not faster than Dir4NB (%d)", ll4.Cycles, d4.Cycles)
+	}
+	if !(ts25.Cycles <= ll4.Cycles && ll4.Cycles <= ts150.Cycles) {
+		t.Errorf("T_s ordering violated: Ts25=%d Ts50=%d Ts150=%d", ts25.Cycles, ll4.Cycles, ts150.Cycles)
+	}
+
+	// Figure 10: graceful degradation as hardware pointers shrink; one
+	// pointer is especially bad (worker-set-2 variables).
+	if !(ll4.Cycles <= ll2.Cycles && ll2.Cycles <= ll1.Cycles) {
+		t.Errorf("pointer ordering violated: LL1=%d LL2=%d LL4=%d", ll1.Cycles, ll2.Cycles, ll4.Cycles)
+	}
+	if ratio(ll1, ll4) < 1.1 {
+		t.Errorf("LimitLESS1/LimitLESS4 = %.2f, want >= 1.1", ratio(ll1, ll4))
+	}
+
+	// Section 3.1 sanity: measured T_h for full-map in the calibrated range.
+	if th := full.AvgRemoteLatency(); th < 20 || th > 80 {
+		t.Errorf("full-map T_h = %.1f, want within [20,80]", th)
+	}
+}

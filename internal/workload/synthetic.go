@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"limitless/internal/coherence"
+	"limitless/internal/directory"
+	"limitless/internal/mesh"
+	"limitless/internal/proc"
+	"limitless/internal/sim"
+)
+
+// SyntheticConfig drives the worker-set microbenchmark used to validate
+// the Section 3.1 analytic model, T_eff = T_h + m·T_s. Each processor owns
+// one shared variable read by the WorkerSet processors that follow it;
+// every iteration the owner rewrites its variable (invalidating the
+// readers) and each reader re-reads the variables it subscribes to. With
+// WorkerSet greater than the hardware pointer count, every refill round
+// overflows the directory, so m — the fraction of remote references
+// handled in software — is set directly by the configuration.
+type SyntheticConfig struct {
+	Procs         int
+	Iters         int
+	WorkerSet     int      // readers per variable
+	ComputeCycles sim.Time // local work between rounds
+	PrivateBlocks int
+	BarrierFanIn  int
+}
+
+// DefaultSynthetic returns the model-validation configuration.
+func DefaultSynthetic(nprocs, workerSet int) SyntheticConfig {
+	return SyntheticConfig{
+		Procs:         nprocs,
+		Iters:         6,
+		WorkerSet:     workerSet,
+		ComputeCycles: 100,
+		PrivateBlocks: 8,
+		BarrierFanIn:  4,
+	}
+}
+
+// varOf returns processor p's published variable.
+func (cfg SyntheticConfig) varOf(p int) directory.Addr {
+	return coherence.BlockAt(mesh.NodeID(p), 1)
+}
+
+func (cfg SyntheticConfig) private(p, k int) directory.Addr {
+	return coherence.BlockAt(mesh.NodeID(p), uint64(3000+k))
+}
+
+// Synthetic builds one workload per processor.
+func Synthetic(cfg SyntheticConfig) []proc.Workload {
+	if cfg.BarrierFanIn == 0 {
+		cfg.BarrierFanIn = 4
+	}
+	if cfg.WorkerSet < 1 {
+		cfg.WorkerSet = 1
+	}
+	bar := NewBarrier(cfg.Procs, cfg.BarrierFanIn, SequentialAllocator(5000))
+
+	wls := make([]proc.Workload, cfg.Procs)
+	for p := 0; p < cfg.Procs; p++ {
+		p := p
+		wls[p] = NewThread(func(t *Thread) {
+			Loop(t, cfg.Iters, func(iter int, t *Thread, next func(*Thread)) {
+				// Publish: rewrite the owned variable, invalidating its
+				// reader set.
+				t.Store(cfg.varOf(p), uint64(iter+1), func(_ uint64, t *Thread) {
+					// Subscribe: read the WorkerSet variables owned by the
+					// processors preceding p (so p is in their reader sets).
+					Each(t, cfg.WorkerSet, func(k int, t *Thread, nx func(*Thread)) {
+						owner := ((p-1-k)%cfg.Procs + cfg.Procs) % cfg.Procs
+						t.Load(cfg.varOf(owner), func(_ uint64, t *Thread) { nx(t) })
+					}, func(t *Thread) {
+						Each(t, cfg.PrivateBlocks, func(k int, t *Thread, nx func(*Thread)) {
+							t.StorePrivate(cfg.private(p, k), uint64(iter), func(_ uint64, t *Thread) { nx(t) })
+						}, func(t *Thread) {
+							t.Compute(cfg.ComputeCycles, func(_ uint64, t *Thread) {
+								bar.Wait(t, p, uint64(iter+1), next)
+							})
+						})
+					})
+				})
+			}, func(*Thread) {})
+		})
+	}
+	return wls
+}

@@ -1,0 +1,145 @@
+// Package workload provides the synthetic applications driven through the
+// simulated Alewife machine: reconstructions of the paper's two
+// evaluation programs (the statically scheduled multigrid relaxation of
+// Figure 7 and the Weather code of Figures 8–10, with its combining-tree
+// barriers, worker-set-2 variables and unoptimized hot-spot variable), a
+// synthetic worker-set microbenchmark for validating the Section 3.1
+// analytic model, and the extension workloads (migratory data, lock
+// contention, producer/consumer) exercised by the Section 6 mechanisms.
+//
+// Workloads are written in continuation-passing style over Thread, which
+// turns nested callbacks into the pull-based proc.Workload interface. The
+// style reads like straight-line code with explicit joins, and — unlike a
+// goroutine per simulated thread — keeps the simulation deterministic.
+package workload
+
+import (
+	"limitless/internal/directory"
+	"limitless/internal/proc"
+	"limitless/internal/sim"
+)
+
+// Cont is a continuation: what the thread does after an operation
+// completes. v is the operation's result (loaded value, stored value, or
+// the old value of an RMW).
+type Cont func(v uint64, t *Thread)
+
+// Thread adapts continuation-passing workload code to proc.Workload. Push
+// operations with Load/Store/RMW/Compute; each takes the continuation to
+// run when the operation's result is available.
+type Thread struct {
+	queue []queued
+	last  Cont
+}
+
+type queued struct {
+	op   proc.Op
+	then Cont
+}
+
+// NewThread returns a thread that runs start once and then whatever the
+// continuations push.
+func NewThread(start func(t *Thread)) *Thread {
+	t := &Thread{}
+	start(t)
+	return t
+}
+
+// push appends an operation.
+func (t *Thread) push(op proc.Op, then Cont) {
+	t.queue = append(t.queue, queued{op, then})
+}
+
+// Load reads addr and passes the value to then.
+func (t *Thread) Load(addr directory.Addr, then Cont) {
+	t.push(proc.Op{Kind: proc.OpLoad, Addr: addr, Shared: true}, then)
+}
+
+// LoadPrivate reads addr, marking it private (cacheable even under the
+// private-only baseline).
+func (t *Thread) LoadPrivate(addr directory.Addr, then Cont) {
+	t.push(proc.Op{Kind: proc.OpLoad, Addr: addr, Shared: false}, then)
+}
+
+// Store writes value to addr and then continues.
+func (t *Thread) Store(addr directory.Addr, value uint64, then Cont) {
+	t.push(proc.Op{Kind: proc.OpStore, Addr: addr, Value: value, Shared: true}, then)
+}
+
+// StorePrivate writes to a private block.
+func (t *Thread) StorePrivate(addr directory.Addr, value uint64, then Cont) {
+	t.push(proc.Op{Kind: proc.OpStore, Addr: addr, Value: value, Shared: false}, then)
+}
+
+// RMW atomically stores modify(old) to addr; then receives old.
+func (t *Thread) RMW(addr directory.Addr, modify func(uint64) uint64, then Cont) {
+	t.push(proc.Op{Kind: proc.OpRMW, Addr: addr, Modify: modify, Shared: true}, then)
+}
+
+// FetchAdd atomically adds delta to addr; then receives the old value.
+func (t *Thread) FetchAdd(addr directory.Addr, delta uint64, then Cont) {
+	t.RMW(addr, func(old uint64) uint64 { return old + delta }, then)
+}
+
+// Compute spends cycles of local execution.
+func (t *Thread) Compute(cycles sim.Time, then Cont) {
+	t.push(proc.Op{Kind: proc.OpCompute, Cycles: cycles}, then)
+}
+
+// SpinUntil polls addr (with backoff cycles between polls) until
+// pred(value) holds, then continues with the satisfying value.
+func (t *Thread) SpinUntil(addr directory.Addr, pred func(uint64) bool, backoff sim.Time, then Cont) {
+	var poll Cont
+	poll = func(v uint64, t *Thread) {
+		if pred(v) {
+			then(v, t)
+			return
+		}
+		t.Compute(backoff, func(_ uint64, t *Thread) {
+			t.Load(addr, poll)
+		})
+	}
+	t.Load(addr, poll)
+}
+
+// Next implements proc.Workload.
+func (t *Thread) Next(prev uint64) (proc.Op, bool) {
+	if t.last != nil {
+		fn := t.last
+		t.last = nil
+		fn(prev, t) // may push further operations
+	}
+	if len(t.queue) == 0 {
+		return proc.Op{}, false
+	}
+	q := t.queue[0]
+	// Pop from the front; the queue stays tiny (straight-line CPS code
+	// pushes one op at a time), so the copy is cheap.
+	copy(t.queue, t.queue[1:])
+	t.queue = t.queue[:len(t.queue)-1]
+	t.last = q.then
+	return q.op, true
+}
+
+var _ proc.Workload = (*Thread)(nil)
+
+// Loop runs body n times (body receives the iteration index and a
+// continuation to call when the iteration finishes), then continues.
+func Loop(t *Thread, n int, body func(i int, t *Thread, next func(*Thread)), then func(*Thread)) {
+	var iter func(i int, t *Thread)
+	iter = func(i int, t *Thread) {
+		if i >= n {
+			then(t)
+			return
+		}
+		body(i, t, func(t *Thread) { iter(i+1, t) })
+	}
+	iter(0, t)
+}
+
+// Each runs body once per element index of a length-n sequence,
+// sequentially, then continues. It is Loop with clearer intent at call
+// sites that walk address slices.
+func Each(t *Thread, n int, body func(i int, t *Thread, next func(*Thread)), then func(*Thread)) {
+	Loop(t, n, body, then)
+}

@@ -1,0 +1,546 @@
+// Package limitless is a from-scratch reproduction of "LimitLESS
+// Directories: A Scalable Cache Coherence Scheme" (Chaiken, Kubiatowicz,
+// Agarwal; ASPLOS-IV 1991): the LimitLESS hybrid hardware/software
+// coherence protocol and a complete deterministic simulator of the Alewife
+// machine it was designed for — SPARCLE-like processors with fast traps
+// and block multithreading, direct-mapped caches, distributed
+// memory/directory controllers, and a wormhole-routed 2-D mesh with
+// contention.
+//
+// This package is the public facade. A simulation is a Config (machine
+// shape, coherence scheme, latency parameters) plus a Workload (one of the
+// paper's reconstructed applications, a trace replay, or a custom
+// program); Run executes it and reports execution time and protocol
+// activity. Sweep fans configurations out across goroutines for
+// parameter studies; every individual run is bit-deterministic.
+//
+//	cfg := limitless.DefaultConfig()           // 64 procs, LimitLESS₄
+//	res, err := limitless.Run(cfg, limitless.Weather(64))
+//	fmt.Println(res.Cycles, res.Traps)
+package limitless
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"limitless/internal/check"
+	"limitless/internal/coherence"
+	"limitless/internal/directory"
+	"limitless/internal/machine"
+	"limitless/internal/mesh"
+	"limitless/internal/proc"
+	"limitless/internal/sim"
+	"limitless/internal/trace"
+	"limitless/internal/workload"
+)
+
+// Scheme selects the directory organization.
+type Scheme string
+
+// The coherence schemes the library implements.
+const (
+	// FullMap is the Censier-Feautrier full-map directory (Dir_NNB).
+	FullMap Scheme = "full-map"
+	// LimitedNB is Dir_iNB: i pointers, eviction on overflow.
+	LimitedNB Scheme = "limited"
+	// LimitLESS is the paper's protocol: i hardware pointers extended
+	// through software on overflow.
+	LimitLESS Scheme = "limitless"
+	// SoftwareOnly traps every protocol packet (the m = 1 limit).
+	SoftwareOnly Scheme = "software-only"
+	// PrivateOnly caches only private data; shared references are
+	// uncached round trips.
+	PrivateOnly Scheme = "private-only"
+	// Chained distributes the sharing list through the caches and
+	// invalidates sequentially (SCI-style).
+	Chained Scheme = "chained"
+)
+
+func (s Scheme) internal() (coherence.Scheme, error) {
+	switch s {
+	case FullMap:
+		return coherence.FullMap, nil
+	case LimitedNB:
+		return coherence.LimitedNB, nil
+	case LimitLESS, "":
+		return coherence.LimitLESS, nil
+	case SoftwareOnly:
+		return coherence.SoftwareOnly, nil
+	case PrivateOnly:
+		return coherence.PrivateOnly, nil
+	case Chained:
+		return coherence.Chained, nil
+	default:
+		return 0, fmt.Errorf("limitless: unknown scheme %q", s)
+	}
+}
+
+// Addr is a block address in the simulated machine's shared memory.
+type Addr = uint64
+
+// Block returns the address of block index homed at processor home.
+func Block(home, index int) Addr {
+	return Addr(coherence.BlockAt(mesh.NodeID(home), uint64(index)))
+}
+
+// Config describes one simulated machine.
+type Config struct {
+	// Procs is the processor count; it must have an integer square root
+	// or be expressible as Width*Height when those are set explicitly.
+	Procs int
+	// Width, Height override the mesh shape (0 = square from Procs).
+	Width, Height int
+	// Scheme picks the protocol (default LimitLESS).
+	Scheme Scheme
+	// Pointers is the hardware pointer count (the i of Dir_iNB and
+	// LimitLESS_i; default 4).
+	Pointers int
+	// TrapService is T_s, the software handler latency in cycles
+	// (default 50, the low end of the paper's Alewife estimate).
+	TrapService int64
+	// Contexts is the number of processor hardware contexts (default 1;
+	// SPARCLE supports 4).
+	Contexts int
+	// Topology picks the interconnect: "mesh" (default; wormhole-routed
+	// 2-D mesh), "circuit" (circuit-switched mesh), "omega" (multistage
+	// shuffle-exchange), or "ideal" (contention-free, for ablations).
+	Topology string
+	// HopLatency overrides the per-hop router delay in cycles (0 = the
+	// calibrated default of 1). Raising it emulates physically larger or
+	// slower machines, growing T_h while T_s stays fixed.
+	HopLatency int64
+	// CacheWays sets cache associativity (default 1: Alewife is
+	// direct-mapped; higher values for ablations).
+	CacheWays int
+	// Verify runs the structural coherence checker after the workload
+	// finishes and fails the run on any violation.
+	Verify bool
+	// FIFOLocks places these addresses under the Section 6 FIFO-lock
+	// handler. UpdateMode places addresses under update coherence.
+	// ProfileAddrs places addresses in Trap-Always profiling mode.
+	FIFOLocks    []Addr
+	UpdateMode   []Addr
+	ProfileAddrs []Addr
+	// Migratory places addresses under software FIFO eviction (Section 6:
+	// "FIFO directory eviction for data structures that are known to
+	// migrate from processor to processor").
+	Migratory []Addr
+	// ModifyGrant enables the paper's footnote-1 optimization: upgrades
+	// by a block's sole reader are granted without resending the data.
+	ModifyGrant bool
+	// MaxCycles aborts a run that exceeds this many cycles (0 = no bound).
+	MaxCycles int64
+}
+
+// DefaultConfig returns the paper's evaluation machine: 64 processors,
+// LimitLESS with four hardware pointers, T_s = 50.
+func DefaultConfig() Config {
+	return Config{Procs: 64, Scheme: LimitLESS, Pointers: 4, TrapService: 50}
+}
+
+func (c Config) shape() (w, h int, err error) {
+	if c.Width > 0 && c.Height > 0 {
+		return c.Width, c.Height, nil
+	}
+	n := c.Procs
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("limitless: config needs Procs > 0")
+	}
+	for w := 1; w*w <= n; w++ {
+		if w*w == n {
+			return w, w, nil
+		}
+	}
+	// Fall back to the most square rectangle.
+	for w := 1; w <= n; w++ {
+		if n%w == 0 && w*w >= n {
+			return w, n / w, nil
+		}
+	}
+	return 1, n, nil
+}
+
+// build constructs the internal machine.
+func (c Config) build() (*machine.Machine, error) {
+	w, h, err := c.shape()
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := c.Scheme.internal()
+	if err != nil {
+		return nil, err
+	}
+	params := coherence.DefaultParams(w * h)
+	params.Scheme = scheme
+	if c.Pointers > 0 {
+		params.Pointers = c.Pointers
+	}
+	if c.TrapService > 0 {
+		params.Timing.TrapService = sim.Time(c.TrapService)
+	}
+	params.ModifyGrant = c.ModifyGrant
+	contexts := c.Contexts
+	if contexts <= 0 {
+		contexts = 1
+	}
+	mc := machine.Config{Width: w, Height: h, Contexts: contexts, Params: params, CacheWays: c.CacheWays}
+	mcfg := mesh.DefaultConfig(w, h)
+	override := false
+	switch c.Topology {
+	case "", "mesh":
+	case "circuit":
+		mcfg.Switching = mesh.Circuit
+		override = true
+	case "omega":
+		mcfg.Topology = mesh.Omega
+		override = true
+	case "ideal":
+		mcfg.Topology = mesh.Ideal
+		override = true
+	default:
+		return nil, fmt.Errorf("limitless: unknown topology %q", c.Topology)
+	}
+	if c.HopLatency > 0 {
+		mcfg.HopLatency = sim.Time(c.HopLatency)
+		override = true
+	}
+	if override {
+		mc.Mesh = &mcfg
+	}
+	m := machine.New(mc)
+	for _, a := range c.FIFOLocks {
+		m.RegisterFIFOLock(directory.Addr(a))
+	}
+	for _, a := range c.UpdateMode {
+		m.RegisterUpdateMode(directory.Addr(a))
+	}
+	for _, a := range c.ProfileAddrs {
+		m.Profile(directory.Addr(a))
+	}
+	for _, a := range c.Migratory {
+		m.RegisterMigratory(directory.Addr(a))
+	}
+	return m, nil
+}
+
+// Result reports one run.
+type Result struct {
+	// Cycles is the total execution time — the paper's bottom-line metric.
+	Cycles int64
+	// AvgRemoteLatency is measured T_h: mean cycles per remote miss.
+	AvgRemoteLatency float64
+	// HitRate is the fraction of references satisfied in the local cache.
+	HitRate float64
+	// Messages is the number of protocol messages injected.
+	Messages uint64
+	// Invalidations counts INV/CINV messages.
+	Invalidations uint64
+	// Traps counts protocol packets forwarded to software.
+	Traps uint64
+	// TrapCycles is total processor time spent in trap handlers.
+	TrapCycles int64
+	// Evictions counts limited-directory pointer evictions.
+	Evictions uint64
+	// PointerOverflows counts requests that found the pointer array full.
+	PointerOverflows uint64
+	// Busies and Retries count contention feedback.
+	Busies, Retries uint64
+	// RemoteMisses and LocalMisses split misses by home locality.
+	RemoteMisses, LocalMisses uint64
+	// NetworkAvgLatency is mean packet inject-to-eject latency.
+	NetworkAvgLatency float64
+	// NetworkFlits is the total traffic volume in flits (words).
+	NetworkFlits uint64
+	// ContextSwitches counts processor context switches.
+	ContextSwitches uint64
+	// SoftwareFraction is m: the fraction of remote misses whose handling
+	// involved the software directory (Section 3.1's model parameter).
+	SoftwareFraction float64
+	// SoftwareVectorsPeak is the high-water mark of simultaneously
+	// allocated software directory vectors (the LimitLESS handler's
+	// local-memory footprint).
+	SoftwareVectorsPeak int
+	// ProcessorUtilization is the mean fraction of processor cycles spent
+	// executing (instructions, switches, trap handlers) rather than
+	// stalled — the metric the authors' earlier studies reported before
+	// switching to absolute execution time.
+	ProcessorUtilization float64
+	// DirectoryBitsPerEntry is the hardware directory cost of the chosen
+	// scheme at this machine size (the O(N) vs O(N^2) comparison).
+	DirectoryBitsPerEntry int
+}
+
+func resultFrom(r machine.Result) Result {
+	hits := r.Misses.Hits
+	total := hits + r.Misses.LocalMisses + r.Misses.RemoteMisses
+	hr := 0.0
+	if total > 0 {
+		hr = float64(hits) / float64(total)
+	}
+	m := 0.0
+	if r.Misses.RemoteMisses > 0 {
+		m = float64(r.Coherence.Traps) / float64(r.Misses.RemoteMisses)
+	}
+	return Result{
+		Cycles:              int64(r.Cycles),
+		AvgRemoteLatency:    r.Misses.AvgRemoteLatency(),
+		HitRate:             hr,
+		Messages:            r.Coherence.TotalSent(),
+		Invalidations:       r.Coherence.InvalidationsSent,
+		Traps:               r.Coherence.Traps,
+		TrapCycles:          int64(r.Proc.TrapCycles),
+		Evictions:           r.Coherence.Evictions,
+		PointerOverflows:    r.Coherence.PointerOverflows,
+		Busies:              r.Coherence.Busies,
+		Retries:             r.Coherence.Retries,
+		RemoteMisses:        r.Misses.RemoteMisses,
+		LocalMisses:         r.Misses.LocalMisses,
+		NetworkAvgLatency:   r.Network.AvgLatency(),
+		NetworkFlits:        r.Network.Flits,
+		ContextSwitches:     r.Proc.ContextSwitches,
+		SoftwareFraction:    m,
+		SoftwareVectorsPeak: r.SW.MaxResident,
+	}
+}
+
+// Workload is a set of programs, one per processor.
+type Workload struct {
+	procs int
+	build func() []proc.Workload
+}
+
+// Procs returns the processor count the workload was built for.
+func (w Workload) Procs() int { return w.procs }
+
+// Weather reconstructs the paper's Weather case study (Figures 8-10) for
+// nprocs processors, unoptimized: the hot-spot variable is shared.
+func Weather(nprocs int) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		return workload.Weather(workload.DefaultWeather(nprocs))
+	}}
+}
+
+// WeatherOptimized is Weather with the hot variable "flagged as read-only
+// data" (the software optimization the paper describes).
+func WeatherOptimized(nprocs int) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		cfg := workload.DefaultWeather(nprocs)
+		cfg.OptimizeHot = true
+		return workload.Weather(cfg)
+	}}
+}
+
+// Multigrid reconstructs the statically scheduled multigrid relaxation of
+// Figure 7.
+func Multigrid(nprocs int) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		return workload.Multigrid(workload.DefaultMultigrid(nprocs))
+	}}
+}
+
+// FFT is a butterfly-exchange computation: log2(nprocs) stages per pass,
+// each pairing processor p with p XOR 2^stage. Worker-sets stay at two but
+// the sharer identity changes every stage. nprocs must be a power of two.
+func FFT(nprocs, iters int) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		cfg := workload.DefaultFFT(nprocs)
+		cfg.Iters = iters
+		return workload.FFT(cfg)
+	}}
+}
+
+// Synthetic is the worker-set microbenchmark validating the Section 3.1
+// analytic model: every shared variable is read by workerSet processors.
+func Synthetic(nprocs, workerSet int) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		return workload.Synthetic(workload.DefaultSynthetic(nprocs, workerSet))
+	}}
+}
+
+// Migratory passes a token block around the ring of processors.
+func Migratory(nprocs, rounds int) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		return workload.Migratory(workload.MigratoryConfig{Procs: nprocs, Rounds: rounds, Work: 20})
+	}}
+}
+
+// LockContention has every processor perform acquires stores to one lock
+// variable (see Config.FIFOLocks for the Section 6 handler).
+func LockContention(nprocs, acquires int) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		return workload.LockContention(workload.DefaultLock(nprocs, acquires))
+	}}
+}
+
+// RotatingReaders is the Section 6 FIFO-eviction case study: each
+// processor reads one shared block once, in turn, never to return; the
+// owner rewrites it at the end. Register RotatingAddr in Config.Migratory
+// to handle its overflows by software FIFO eviction.
+func RotatingReaders(nprocs int) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		return workload.RotatingReaders(workload.RotatingConfig{Procs: nprocs})
+	}}
+}
+
+// RotatingAddr returns the block RotatingReaders cycles through.
+func RotatingAddr() Addr {
+	return Addr(workload.RotatingConfig{}.RotAddr())
+}
+
+// LockAddr returns the lock variable used by LockContention.
+func LockAddr() Addr { return Addr(workload.DefaultLock(1, 1).Lock) }
+
+// ProducerConsumer has processor 0 rewrite a variable that the others read
+// each round (see Config.UpdateMode for the Section 6 extension).
+func ProducerConsumer(nprocs, rounds int) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		return workload.ProducerConsumer(workload.DefaultProducerConsumer(nprocs-1, rounds))
+	}}
+}
+
+// ProducerConsumerAddr returns the shared variable of ProducerConsumer.
+func ProducerConsumerAddr() Addr {
+	return Addr(workload.DefaultProducerConsumer(1, 1).Var)
+}
+
+// FromTrace replays a multi-thread trace through the post-mortem scheduler
+// (Section 5.1's second input source). The trace's threads map one-to-one
+// onto processors.
+func FromTrace(r io.Reader) (Workload, error) {
+	events, err := trace.Read(r)
+	if err != nil {
+		return Workload{}, err
+	}
+	return FromEvents(events)
+}
+
+// FromEvents is FromTrace for an in-memory event slice.
+func FromEvents(events []trace.Event) (Workload, error) {
+	pm, err := trace.NewPostMortem(events)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{procs: pm.Threads(), build: pm.Workloads}, nil
+}
+
+// Prog is the custom-workload programming surface: continuation-passing
+// memory operations against the simulated machine.
+type Prog struct {
+	t *workload.Thread
+}
+
+// Load reads addr; then receives the value.
+func (p *Prog) Load(addr Addr, then func(v uint64, p *Prog)) {
+	p.t.Load(directory.Addr(addr), func(v uint64, t *workload.Thread) { then(v, &Prog{t}) })
+}
+
+// Store writes value to addr.
+func (p *Prog) Store(addr Addr, value uint64, then func(p *Prog)) {
+	p.t.Store(directory.Addr(addr), value, func(_ uint64, t *workload.Thread) { then(&Prog{t}) })
+}
+
+// FetchAdd atomically adds delta; then receives the old value.
+func (p *Prog) FetchAdd(addr Addr, delta uint64, then func(old uint64, p *Prog)) {
+	p.t.FetchAdd(directory.Addr(addr), delta, func(old uint64, t *workload.Thread) { then(old, &Prog{t}) })
+}
+
+// Compute spends cycles of local work.
+func (p *Prog) Compute(cycles int64, then func(p *Prog)) {
+	p.t.Compute(sim.Time(cycles), func(_ uint64, t *workload.Thread) { then(&Prog{t}) })
+}
+
+// SpinUntil polls addr until pred holds.
+func (p *Prog) SpinUntil(addr Addr, pred func(uint64) bool, then func(v uint64, p *Prog)) {
+	p.t.SpinUntil(directory.Addr(addr), pred, 12, func(v uint64, t *workload.Thread) { then(v, &Prog{t}) })
+}
+
+// Loop runs body n times sequentially, then then.
+func (p *Prog) Loop(n int, body func(i int, p *Prog, next func(*Prog)), then func(*Prog)) {
+	workload.Loop(p.t, n, func(i int, t *workload.Thread, next func(*workload.Thread)) {
+		body(i, &Prog{t}, func(p2 *Prog) { next(p2.t) })
+	}, func(t *workload.Thread) { then(&Prog{t}) })
+}
+
+// Custom builds a workload from a per-processor program.
+func Custom(nprocs int, program func(proc int, p *Prog)) Workload {
+	return Workload{procs: nprocs, build: func() []proc.Workload {
+		out := make([]proc.Workload, nprocs)
+		for i := 0; i < nprocs; i++ {
+			i := i
+			out[i] = workload.NewThread(func(t *workload.Thread) {
+				program(i, &Prog{t})
+			})
+		}
+		return out
+	}}
+}
+
+func finishResult(m *machine.Machine, r machine.Result) Result {
+	out := resultFrom(r)
+	if r.Cycles > 0 {
+		total := float64(int64(r.Cycles)) * float64(len(m.Nodes))
+		out.ProcessorUtilization = float64(int64(r.Proc.BusyCycles)) / total
+	}
+	out.DirectoryBitsPerEntry = m.DirectoryMemory().HardwareBitsPerEntry
+	return out
+}
+
+// Run executes the workload on a machine built from cfg.
+func Run(cfg Config, wl Workload) (Result, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = wl.procs
+	}
+	if cfg.Procs != wl.procs {
+		return Result{}, fmt.Errorf("limitless: config has %d processors but workload was built for %d",
+			cfg.Procs, wl.procs)
+	}
+	m, err := cfg.build()
+	if err != nil {
+		return Result{}, err
+	}
+	for i, w := range wl.build() {
+		m.SetWorkload(mesh.NodeID(i), 0, w)
+	}
+	var res machine.Result
+	if cfg.MaxCycles > 0 {
+		var done bool
+		res, done = m.RunUntil(sim.Time(cfg.MaxCycles))
+		if !done {
+			return finishResult(m, res), fmt.Errorf("limitless: run exceeded %d cycles", cfg.MaxCycles)
+		}
+	} else {
+		res = m.Run()
+	}
+	if cfg.Verify {
+		if bad := check.EndState(m); len(bad) > 0 {
+			return finishResult(m, res), fmt.Errorf("limitless: coherence violations: %v", bad)
+		}
+	}
+	return finishResult(m, res), nil
+}
+
+// Sweep runs one workload under many configurations concurrently (one
+// goroutine per configuration; each simulation stays deterministic).
+// Results are returned in configuration order; the first error, if any,
+// is reported alongside.
+func Sweep(cfgs []Config, mk func(cfg Config) Workload) ([]Result, error) {
+	results := make([]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = Run(cfg, mk(cfg))
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
