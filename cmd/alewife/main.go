@@ -6,12 +6,15 @@
 //	alewife [-scheme limitless] [-pointers 4] [-ts 50] [-procs 64]
 //	        [-workload weather|weather-opt|multigrid|synthetic|migratory|locks|prodcons]
 //	        [-workerset 8] [-contexts 1] [-trace file] [-verify]
+//	        [-cpuprofile file] [-memprofile file]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	limitless "limitless"
 )
@@ -26,6 +29,8 @@ var (
 	ctxFlag      = flag.Int("contexts", 1, "processor hardware contexts")
 	traceFlag    = flag.String("trace", "", "replay a trace file instead of a built-in workload")
 	verifyFlag   = flag.Bool("verify", false, "run the coherence checker after the workload finishes")
+	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfFlag  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 )
 
 func main() {
@@ -78,10 +83,44 @@ func main() {
 		}
 	}
 
+	if *cpuProfFlag != "" {
+		f, err := os.Create(*cpuProfFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	// Open the memory-profile file before the run so a bad path fails fast
+	// instead of after minutes of simulation.
+	var memProf *os.File
+	if *memProfFlag != "" {
+		f, err := os.Create(*memProfFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		memProf = f
+	}
+
 	res, err := limitless.Run(cfg, wl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)
+	}
+
+	if memProf != nil {
+		runtime.GC() // settle the heap so the profile shows live + cumulative allocation accurately
+		if err := pprof.WriteHeapProfile(memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("machine:   %d processors, %s with %d pointers, T_s=%d, %d context(s)\n",

@@ -131,6 +131,37 @@ type CacheController struct {
 
 	stats Stats
 	miss  MissStats
+
+	// Closure-free dispatch: sendH re-sends a transaction's request message
+	// (initial issue and BUSY retries), compH delivers pooled completion
+	// callbacks.
+	sendH     txnSendHandler
+	compH     completionHandler
+	freeComps []*completion
+}
+
+// txnSendHandler sends (or re-sends) a transaction's request to its home.
+type txnSendHandler struct{ cc *CacheController }
+
+func (h *txnSendHandler) OnEvent(arg any) {
+	t := arg.(*txn)
+	h.cc.send(h.cc.home(t.msg.Addr), t.msg)
+}
+
+// completion carries one Done callback from commit event to invocation.
+type completion struct {
+	done  func(value uint64)
+	value uint64
+}
+
+type completionHandler struct{ cc *CacheController }
+
+func (h *completionHandler) OnEvent(arg any) {
+	c := arg.(*completion)
+	done, v := c.done, c.value
+	c.done = nil
+	h.cc.freeComps = append(h.cc.freeComps, c)
+	done(v)
 }
 
 // NewCacheController builds the cache side of node id.
@@ -139,17 +170,20 @@ func NewCacheController(eng *sim.Engine, nw *mesh.Network, id mesh.NodeID, param
 	if home == nil {
 		panic("coherence: nil placement")
 	}
-	return &CacheController{
+	cc := &CacheController{
 		eng:        eng,
 		nw:         nw,
 		id:         id,
 		params:     params,
 		home:       home,
 		cache:      c,
-		txns:       make(map[directory.Addr]*txn),
+		txns:       make(map[directory.Addr]*txn, 16),
 		chainNext:  make(map[directory.Addr][]mesh.NodeID),
 		updateMode: make(map[directory.Addr]bool),
 	}
+	cc.sendH = txnSendHandler{cc}
+	cc.compH = completionHandler{cc}
+	return cc
 }
 
 // ID returns the node this controller belongs to.
@@ -169,7 +203,7 @@ func (cc *CacheController) Outstanding() int { return len(cc.txns) }
 
 func (cc *CacheController) send(dst mesh.NodeID, m *Msg) {
 	cc.stats.Sent[m.Type]++
-	cc.nw.Send(&mesh.Packet{Src: cc.id, Dst: dst, Flits: m.Flits(cc.params.BlockWords), Payload: m})
+	cc.nw.SendFrom(cc.id, dst, m.Flits(cc.params.BlockWords), m)
 }
 
 // SetUpdateMode registers (or clears) addr as an update-mode block. Stores
@@ -243,7 +277,7 @@ func (cc *CacheController) Access(req Request) Outcome {
 		t.msg = &Msg{Type: WREQ, Addr: req.Addr, Next: -1}
 	}
 	cc.txns[req.Addr] = t
-	cc.eng.After(hitTime, func() { cc.send(cc.home(req.Addr), t.msg) })
+	cc.eng.AfterHandler(hitTime, &cc.sendH, t)
 	return cc.missOutcome(req.Addr)
 }
 
@@ -261,7 +295,7 @@ func (cc *CacheController) uncached(req Request) Outcome {
 	}
 	cc.txns[req.Addr] = t
 	cc.miss.UncachedTrips++
-	cc.eng.After(cc.params.Timing.CacheHit, func() { cc.send(cc.home(req.Addr), t.msg) })
+	cc.eng.AfterHandler(cc.params.Timing.CacheHit, &cc.sendH, t)
 	return cc.missOutcome(req.Addr)
 }
 
@@ -269,7 +303,16 @@ func (cc *CacheController) complete(req Request, value uint64, after sim.Time) {
 	if req.Done == nil {
 		return
 	}
-	cc.eng.After(after, func() { req.Done(value) })
+	var c *completion
+	if n := len(cc.freeComps); n > 0 {
+		c = cc.freeComps[n-1]
+		cc.freeComps[n-1] = nil
+		cc.freeComps = cc.freeComps[:n-1]
+	} else {
+		c = &completion{}
+	}
+	c.done, c.value = req.Done, value
+	cc.eng.AfterHandler(after, &cc.compH, c)
 }
 
 // finish closes the transaction for addr, delivers the primary value, and
@@ -387,12 +430,10 @@ func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 			panic(fmt.Sprintf("coherence: node %d got BUSY %#x without transaction", cc.id, m.Addr))
 		}
 		cc.stats.Retries++
-		cc.eng.After(cc.params.Timing.RetryBackoff, func() {
-			// The transaction may have completed meanwhile only if a
-			// response overtook the BUSY; with in-order delivery it
-			// cannot, so the entry is still live.
-			cc.send(cc.home(m.Addr), t.msg)
-		})
+		// The transaction could complete before the retry fires only if a
+		// response overtook the BUSY; with in-order delivery it cannot, so
+		// the entry is still live when sendH runs.
+		cc.eng.AfterHandler(cc.params.Timing.RetryBackoff, &cc.sendH, t)
 
 	case CINV:
 		cc.cache.Invalidate(m.Addr)

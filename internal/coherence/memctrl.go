@@ -106,10 +106,33 @@ type MemoryController struct {
 	stats Stats
 
 	// deferred holds non-retriable packets (REPM/UPDATE/ACKC) that arrived
-	// while the block's meta state was Trans-In-Progress.
-	deferred map[directory.Addr][]deferredPkt
+	// while the block's meta state was Trans-In-Progress. Drained slices
+	// park in deferFree so overflow bursts reuse their backing arrays.
+	deferred  map[directory.Addr][]deferredPkt
+	deferFree [][]deferredPkt
 
+	// procH dispatches delayed message processing without a per-message
+	// closure; the (src, msg) pair rides in a pooled procArg.
+	procH     processHandler
+	freeArgs  []*procArg
 	evictSeed uint64
+}
+
+// procArg carries one in-flight message through the controller-occupancy
+// delay between Handle and process.
+type procArg struct {
+	src mesh.NodeID
+	msg *Msg
+}
+
+type processHandler struct{ mc *MemoryController }
+
+func (h *processHandler) OnEvent(arg any) {
+	a := arg.(*procArg)
+	src, m := a.src, a.msg
+	a.msg = nil
+	h.mc.freeArgs = append(h.mc.freeArgs, a)
+	h.mc.process(src, m)
 }
 
 // NewMemoryController builds the directory side of node id. The sink may
@@ -124,7 +147,7 @@ func NewMemoryController(eng *sim.Engine, nw *mesh.Network, id mesh.NodeID, para
 		// in Trap-Always mode.
 		params.DefaultMeta = directory.TrapAlways
 	}
-	return &MemoryController{
+	mc := &MemoryController{
 		eng:       eng,
 		nw:        nw,
 		id:        id,
@@ -132,9 +155,11 @@ func NewMemoryController(eng *sim.Engine, nw *mesh.Network, id mesh.NodeID, para
 		dir:       directory.NewStore(params.newPointerSet),
 		ipiq:      ipi.NewQueue(params.IPIQueueCap),
 		sink:      sink,
-		deferred:  make(map[directory.Addr][]deferredPkt),
+		deferred:  make(map[directory.Addr][]deferredPkt, 16),
 		evictSeed: uint64(id)*2654435761 + 1,
 	}
+	mc.procH = processHandler{mc}
+	return mc
 }
 
 // ID returns the node this controller belongs to.
@@ -179,7 +204,7 @@ func (mc *MemoryController) Send(dst mesh.NodeID, m *Msg) {
 	if m.Type == INV || m.Type == CINV {
 		mc.stats.InvalidationsSent++
 	}
-	mc.nw.Send(&mesh.Packet{Src: mc.id, Dst: dst, Flits: m.Flits(mc.params.BlockWords), Payload: m})
+	mc.nw.SendFrom(mc.id, dst, m.Flits(mc.params.BlockWords), m)
 }
 
 // cost returns the controller occupancy for processing an incoming message.
@@ -196,8 +221,18 @@ func (mc *MemoryController) cost(t MsgType) sim.Time {
 // homed at this node. Processing is serialized through the controller's
 // occupancy resource and then dispatched to the protocol engine.
 func (mc *MemoryController) Handle(src mesh.NodeID, m *Msg) {
-	start := mc.ctrl.Claim(mc.eng.Now(), mc.cost(m.Type))
-	mc.eng.At(start+mc.cost(m.Type), func() { mc.process(src, m) })
+	cost := mc.cost(m.Type)
+	start := mc.ctrl.Claim(mc.eng.Now(), cost)
+	var a *procArg
+	if n := len(mc.freeArgs); n > 0 {
+		a = mc.freeArgs[n-1]
+		mc.freeArgs[n-1] = nil
+		mc.freeArgs = mc.freeArgs[:n-1]
+	} else {
+		a = &procArg{}
+	}
+	a.src, a.msg = src, m
+	mc.eng.AtHandler(start+cost, &mc.procH, a)
 }
 
 // process runs one message through the meta-state filter of Table 4 and
@@ -223,7 +258,15 @@ func (mc *MemoryController) process(src mesh.NodeID, m *Msg) {
 			mc.Send(src, &Msg{Type: BUSY, Addr: m.Addr, Next: -1})
 		default:
 			mc.stats.Deferred++
-			mc.deferred[m.Addr] = append(mc.deferred[m.Addr], deferredPkt{src, m})
+			q := mc.deferred[m.Addr]
+			if q == nil {
+				if n := len(mc.deferFree); n > 0 {
+					q = mc.deferFree[n-1]
+					mc.deferFree[n-1] = nil
+					mc.deferFree = mc.deferFree[:n-1]
+				}
+			}
+			mc.deferred[m.Addr] = append(q, deferredPkt{src, m})
 		}
 		return
 	case directory.TrapAlways:
@@ -291,6 +334,15 @@ func (mc *MemoryController) Release(addr directory.Addr) {
 		// traffic overtake: process now.
 		mc.ctrl.Claim(mc.eng.Now(), mc.cost(d.msg.Type))
 		mc.process(d.src, d.msg)
+	}
+	if pending != nil {
+		// Recycle the drained slice. The map entry was deleted before the
+		// loop, so re-deferrals during processing built a fresh slice and
+		// this backing array is exclusively ours.
+		for i := range pending {
+			pending[i] = deferredPkt{}
+		}
+		mc.deferFree = append(mc.deferFree, pending[:0])
 	}
 }
 

@@ -312,45 +312,134 @@ func (e *Entry) Sharers() int {
 
 // Store is one node's directory memory: entries for every block whose home
 // is this node, created on first touch in the uncached Read-Only state.
+//
+// The store is a pre-sized, power-of-two open-addressing hash table rather
+// than a Go map: directory lookups sit on the simulator's hottest path (one
+// per protocol message at the home node), and the specialized table avoids
+// the runtime map's hash-seed and bucket indirection while keeping exact
+// map semantics. Entries themselves are placed in chunked arenas so
+// directory growth costs one allocation per chunk, not per block, and every
+// *Entry stays stable for the life of the store.
 type Store struct {
-	entries map[Addr]*Entry
-	newSet  func() PointerSet
+	slots  []slot
+	count  int
+	arena  []Entry
+	newSet func() PointerSet
 }
+
+type slot struct {
+	addr Addr
+	e    *Entry // nil marks an empty slot
+}
+
+const (
+	// storeInitSlots pre-sizes the table for a typical per-node working
+	// set (a few hundred blocks at 64 nodes); must be a power of two.
+	storeInitSlots = 256
+	// entryChunk is the arena granularity.
+	entryChunk = 128
+)
 
 // NewStore returns an empty directory whose entries use pointer sets built
 // by newSet (full-map bit vectors or limited arrays).
 func NewStore(newSet func() PointerSet) *Store {
-	return &Store{entries: make(map[Addr]*Entry), newSet: newSet}
+	return &Store{slots: make([]slot, storeInitSlots), newSet: newSet}
+}
+
+// hashAddr mixes the block address so both the dense per-home index bits
+// and the high home bits land uniformly in the table's low bits.
+func hashAddr(a Addr) uint64 {
+	x := uint64(a) * 0x9E3779B97F4A7C15
+	return x ^ (x >> 32)
 }
 
 // Entry returns the directory entry for addr, creating it (uncached,
 // Read-Only, Normal) on first reference.
 func (s *Store) Entry(addr Addr) *Entry {
-	e, ok := s.entries[addr]
-	if !ok {
-		e = &Entry{State: ReadOnly, Meta: Normal, Ptrs: s.newSet()}
-		s.entries[addr] = e
+	mask := uint64(len(s.slots) - 1)
+	i := hashAddr(addr) & mask
+	for {
+		sl := &s.slots[i]
+		if sl.e == nil {
+			break
+		}
+		if sl.addr == addr {
+			return sl.e
+		}
+		i = (i + 1) & mask
 	}
+	e := s.newEntry()
+	e.State, e.Meta, e.Ptrs = ReadOnly, Normal, s.newSet()
+	if s.count >= len(s.slots)*3/4 {
+		s.grow()
+		mask = uint64(len(s.slots) - 1)
+		i = hashAddr(addr) & mask
+		for s.slots[i].e != nil {
+			i = (i + 1) & mask
+		}
+	}
+	s.slots[i] = slot{addr: addr, e: e}
+	s.count++
 	return e
 }
 
 // Lookup returns the entry for addr without creating one.
 func (s *Store) Lookup(addr Addr) (*Entry, bool) {
-	e, ok := s.entries[addr]
-	return e, ok
+	mask := uint64(len(s.slots) - 1)
+	i := hashAddr(addr) & mask
+	for {
+		sl := &s.slots[i]
+		if sl.e == nil {
+			return nil, false
+		}
+		if sl.addr == addr {
+			return sl.e, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// newEntry takes a zeroed entry from the current arena chunk.
+func (s *Store) newEntry() *Entry {
+	if len(s.arena) == cap(s.arena) {
+		// The retired chunk stays alive through the *Entry pointers held
+		// in slots; the store only drops its append reference.
+		s.arena = make([]Entry, 0, entryChunk)
+	}
+	s.arena = append(s.arena, Entry{})
+	return &s.arena[len(s.arena)-1]
+}
+
+// grow doubles the table and reinserts every live slot.
+func (s *Store) grow() {
+	old := s.slots
+	s.slots = make([]slot, 2*len(old))
+	mask := uint64(len(s.slots) - 1)
+	for _, sl := range old {
+		if sl.e == nil {
+			continue
+		}
+		i := hashAddr(sl.addr) & mask
+		for s.slots[i].e != nil {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = sl
+	}
 }
 
 // Len returns the number of allocated entries.
-func (s *Store) Len() int { return len(s.entries) }
+func (s *Store) Len() int { return s.count }
 
 // ForEach visits every allocated entry in ascending address order.
 func (s *Store) ForEach(fn func(Addr, *Entry)) {
-	addrs := make([]Addr, 0, len(s.entries))
-	for a := range s.entries {
-		addrs = append(addrs, a)
+	live := make([]slot, 0, s.count)
+	for _, sl := range s.slots {
+		if sl.e != nil {
+			live = append(live, sl)
+		}
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		fn(a, s.entries[a])
+	sort.Slice(live, func(i, j int) bool { return live[i].addr < live[j].addr })
+	for _, sl := range live {
+		fn(sl.addr, sl.e)
 	}
 }

@@ -44,6 +44,9 @@ type Config struct {
 	// CacheWays sets the cache associativity (default 1, Alewife's
 	// direct-mapped geometry).
 	CacheWays int
+	// DisableEventPool turns off engine event recycling (cross-checking
+	// and memory debugging only; results are identical either way).
+	DisableEventPool bool
 }
 
 // DefaultConfig returns the paper's evaluation machine: 64 processors,
@@ -100,6 +103,9 @@ func New(cfg Config) *Machine {
 	}
 
 	eng := sim.New()
+	if cfg.DisableEventPool {
+		eng.SetPooling(false)
+	}
 	mcfg := mesh.DefaultConfig(cfg.Width, cfg.Height)
 	if cfg.Mesh != nil {
 		mcfg = *cfg.Mesh

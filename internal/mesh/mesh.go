@@ -91,7 +91,11 @@ type Packet struct {
 	Payload  any
 }
 
-// Handler receives packets ejected at a node.
+// Handler receives packets ejected at a node. The packet is only valid for
+// the duration of the call: packets injected through SendFrom are recycled
+// as soon as the handler returns, so handlers must copy out anything they
+// need (retaining the Payload pointer is fine — the network never touches
+// it after delivery).
 type Handler func(pkt *Packet)
 
 // Config sets the network shape and timing.
@@ -171,6 +175,21 @@ type Network struct {
 
 	rng      uint64
 	pairLast map[uint64]sim.Time // last scheduled delivery per (src,dst)
+
+	// Hot-path scratch: route() reuses one path buffer (consumed within
+	// Send, never retained), and packets/delivery records cycle through
+	// free lists so steady-state traffic allocates nothing.
+	routeBuf []int
+	freePkts []*Packet
+	freeDels []*delivery
+}
+
+// delivery carries one in-flight packet from its delivery event to the
+// ejection handler without a per-packet closure.
+type delivery struct {
+	pkt      *Packet
+	injected sim.Time
+	pooled   bool // pkt belongs to the network's packet pool
 }
 
 // Directions for mesh channels out of a node.
@@ -273,11 +292,16 @@ func (nw *Network) linkIndex(from NodeID, dir int) int {
 }
 
 // route returns the dimension-order (X then Y) sequence of channel indices
-// from src to dst.
+// from src to dst. The returned slice aliases the network's reusable route
+// buffer; it is valid only until the next route call, which is fine because
+// Send consumes it synchronously.
 func (nw *Network) route(src, dst NodeID) []int {
 	sx, sy := nw.XY(src)
 	dx, dy := nw.XY(dst)
-	path := make([]int, 0, abs(sx-dx)+abs(sy-dy))
+	path := nw.routeBuf[:0]
+	if need := abs(sx-dx) + abs(sy-dy); cap(path) < need {
+		path = make([]int, 0, need)
+	}
 	x, y := sx, sy
 	for x != dx {
 		if x < dx {
@@ -297,12 +321,35 @@ func (nw *Network) route(src, dst NodeID) []int {
 			y--
 		}
 	}
+	nw.routeBuf = path
 	return path
 }
 
-// Send injects a packet at the current engine time. Delivery is scheduled
-// as an engine event invoking the destination's handler.
+// Send injects a caller-owned packet at the current engine time. Delivery
+// is scheduled as an engine event invoking the destination's handler. The
+// network never retains the packet past the handler call, but it also never
+// recycles it — use SendFrom on hot paths to borrow a pooled packet.
 func (nw *Network) Send(pkt *Packet) {
+	nw.send(pkt, false)
+}
+
+// SendFrom injects a packet assembled from a pooled buffer: the allocation-
+// free fast path. The packet is recycled as soon as the destination handler
+// returns, so the handler must not retain it (the payload may be retained).
+func (nw *Network) SendFrom(src, dst NodeID, flits int, payload any) {
+	var pkt *Packet
+	if n := len(nw.freePkts); n > 0 {
+		pkt = nw.freePkts[n-1]
+		nw.freePkts[n-1] = nil
+		nw.freePkts = nw.freePkts[:n-1]
+	} else {
+		pkt = &Packet{}
+	}
+	pkt.Src, pkt.Dst, pkt.Flits, pkt.Payload = src, dst, flits, payload
+	nw.send(pkt, true)
+}
+
+func (nw *Network) send(pkt *Packet, pooled bool) {
 	if pkt.Flits <= 0 {
 		panic("mesh: packet with no flits")
 	}
@@ -312,7 +359,7 @@ func (nw *Network) Send(pkt *Packet) {
 	now := nw.eng.Now()
 	if pkt.Src == pkt.Dst {
 		nw.stats.LocalPackets++
-		nw.deliverAt(now+nw.cfg.LocalLatency, pkt, now)
+		nw.deliverAt(now+nw.cfg.LocalLatency, pkt, now, pooled)
 		return
 	}
 
@@ -378,24 +425,47 @@ func (nw *Network) Send(pkt *Packet) {
 		}
 		nw.pairLast[key] = at
 	}
-	nw.deliverAt(at, pkt, now)
+	nw.deliverAt(at, pkt, now, pooled)
 }
 
-func (nw *Network) deliverAt(at sim.Time, pkt *Packet, injected sim.Time) {
-	nw.eng.At(at, func() {
-		lat := nw.eng.Now() - injected
-		nw.stats.Packets++
-		nw.stats.Flits += uint64(pkt.Flits)
-		nw.stats.TotalLatency += lat
-		if lat > nw.stats.MaxLatency {
-			nw.stats.MaxLatency = lat
-		}
-		h := nw.handlers[pkt.Dst]
-		if h == nil {
-			panic(fmt.Sprintf("mesh: no handler registered for node %d", pkt.Dst))
-		}
-		h(pkt)
-	})
+// deliverAt schedules the ejection event through the closure-free handler
+// path, threading the packet via a pooled delivery record.
+func (nw *Network) deliverAt(at sim.Time, pkt *Packet, injected sim.Time, pooled bool) {
+	var d *delivery
+	if n := len(nw.freeDels); n > 0 {
+		d = nw.freeDels[n-1]
+		nw.freeDels[n-1] = nil
+		nw.freeDels = nw.freeDels[:n-1]
+	} else {
+		d = &delivery{}
+	}
+	d.pkt, d.injected, d.pooled = pkt, injected, pooled
+	nw.eng.AtHandler(at, nw, d)
+}
+
+// OnEvent implements sim.Handler: it ejects one packet at its destination.
+func (nw *Network) OnEvent(arg any) {
+	d := arg.(*delivery)
+	pkt, pooled, injected := d.pkt, d.pooled, d.injected
+	d.pkt = nil
+	nw.freeDels = append(nw.freeDels, d)
+
+	lat := nw.eng.Now() - injected
+	nw.stats.Packets++
+	nw.stats.Flits += uint64(pkt.Flits)
+	nw.stats.TotalLatency += lat
+	if lat > nw.stats.MaxLatency {
+		nw.stats.MaxLatency = lat
+	}
+	h := nw.handlers[pkt.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("mesh: no handler registered for node %d", pkt.Dst))
+	}
+	h(pkt)
+	if pooled {
+		pkt.Payload = nil
+		nw.freePkts = append(nw.freePkts, pkt)
+	}
 }
 
 // ChannelUtilization returns the mean busy fraction across all mesh

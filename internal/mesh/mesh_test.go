@@ -495,3 +495,95 @@ func TestChannelUtilizationAndEjectBusy(t *testing.T) {
 		t.Fatalf("nodes = %d", nw.Nodes())
 	}
 }
+
+// The route buffer is reused across calls; each call must still produce a
+// correct, self-consistent path, and growing paths must not corrupt the
+// shorter ones computed before them.
+func TestRouteBufferReuse(t *testing.T) {
+	_, nw := newTest(8, 8)
+	long := nw.route(nw.ID(0, 0), nw.ID(7, 7))
+	if len(long) != 14 {
+		t.Fatalf("long route has %d hops, want 14", len(long))
+	}
+	short := nw.route(nw.ID(2, 2), nw.ID(3, 2))
+	if len(short) != 1 {
+		t.Fatalf("short route has %d hops, want 1", len(short))
+	}
+	if want := nw.linkIndex(nw.ID(2, 2), dirEast); short[0] != want {
+		t.Fatalf("short route after long route = %v, want [%d]", short, want)
+	}
+	// The two results alias the same buffer by design: recomputing the long
+	// route must still be correct after the short one clobbered it.
+	long2 := nw.route(nw.ID(0, 0), nw.ID(7, 7))
+	if len(long2) != 14 {
+		t.Fatalf("recomputed long route has %d hops, want 14", len(long2))
+	}
+}
+
+// SendFrom recycles packets: steady-state traffic must not grow the pool
+// beyond the number of simultaneously in-flight packets.
+func TestSendFromRecyclesPackets(t *testing.T) {
+	eng, nw := newTest(4, 4)
+	got := 0
+	var lastPayload any
+	for i := NodeID(0); i < 16; i++ {
+		nw.Register(i, func(p *Packet) { got++; lastPayload = p.Payload })
+	}
+	for round := 0; round < 50; round++ {
+		nw.SendFrom(0, 5, 2, round)
+		eng.Run()
+	}
+	if got != 50 {
+		t.Fatalf("delivered %d packets, want 50", got)
+	}
+	if lastPayload != 49 {
+		t.Fatalf("last payload = %v, want 49", lastPayload)
+	}
+	if len(nw.freePkts) != 1 {
+		t.Fatalf("packet pool holds %d packets after serial sends, want 1", len(nw.freePkts))
+	}
+	if len(nw.freeDels) != 1 {
+		t.Fatalf("delivery pool holds %d records after serial sends, want 1", len(nw.freeDels))
+	}
+}
+
+// Send (caller-owned packets) must never place foreign packets in the pool.
+func TestSendDoesNotPoolCallerPackets(t *testing.T) {
+	eng, nw := newTest(4, 4)
+	for i := NodeID(0); i < 16; i++ {
+		nw.Register(i, func(p *Packet) {})
+	}
+	mine := &Packet{Src: 0, Dst: 3, Flits: 1, Payload: "keep"}
+	nw.Send(mine)
+	eng.Run()
+	if len(nw.freePkts) != 0 {
+		t.Fatal("caller-owned packet was captured by the pool")
+	}
+	if mine.Payload != "keep" {
+		t.Fatal("caller-owned packet payload was cleared")
+	}
+}
+
+// BenchmarkMeshRoute guards the allocation-free routing fast path.
+func BenchmarkMeshRoute(b *testing.B) {
+	_, nw := newTest(8, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src := NodeID(i % 64)
+		dst := NodeID((i * 7) % 64)
+		nw.route(src, dst)
+	}
+}
+
+// BenchmarkMeshSend measures the full injection path with pooled packets.
+func BenchmarkMeshSend(b *testing.B) {
+	eng, nw := newTest(8, 8)
+	for i := NodeID(0); i < 64; i++ {
+		nw.Register(i, func(p *Packet) {})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nw.SendFrom(NodeID(i%64), NodeID((i*13+5)%64), 4, nil)
+		eng.Run()
+	}
+}

@@ -107,6 +107,13 @@ type context struct {
 	wl    Workload
 	state ctxState
 	prev  uint64
+
+	// Closure-free scheduling scratch. A context has at most one pending
+	// pipeline event (compute slice, issue, or switch-in), so one set of
+	// fields per context suffices.
+	computeLeft sim.Time // cycles of the current compute op still to burn
+	pendingOp   Op       // memory op parked across the one-cycle issue slot
+	done        func(v uint64) // per-context completion callback, allocated once
 }
 
 // Processor is one node's SPARCLE. It owns the node's execution: workload
@@ -127,6 +134,46 @@ type Processor struct {
 	finished int
 	stats    Stats
 	onIdle   func() // invoked when all contexts finish
+
+	// Pre-allocated sim.Handler adapters: one per event kind, so the hot
+	// loop schedules through AtHandler without allocating closures.
+	stepH    stepHandler
+	issueH   issueHandler
+	computeH computeHandler
+	trapH    trapHandler
+}
+
+type stepHandler struct{ p *Processor }
+
+func (h *stepHandler) OnEvent(arg any) { h.p.step(arg.(*context)) }
+
+type issueHandler struct{ p *Processor }
+
+func (h *issueHandler) OnEvent(arg any) {
+	c := arg.(*context)
+	h.p.issue(c, c.pendingOp)
+}
+
+type computeHandler struct{ p *Processor }
+
+func (h *computeHandler) OnEvent(arg any) {
+	c := arg.(*context)
+	if c.computeLeft > 0 {
+		h.p.compute(c, c.computeLeft)
+		return
+	}
+	h.p.step(c)
+}
+
+type trapHandler struct{ p *Processor }
+
+func (h *trapHandler) OnEvent(any) {
+	p := h.p
+	pkt := p.mc.IPIQueue().Pop()
+	if pkt == nil {
+		panic("proc: protocol trap with empty IPI queue")
+	}
+	p.hnd.Handle(pkt)
 }
 
 // New creates a processor with the given hardware contexts (SPARCLE caches
@@ -136,9 +183,21 @@ func New(eng *sim.Engine, cc *coherence.CacheController, timing coherence.Timing
 		panic("proc: need at least one context")
 	}
 	p := &Processor{eng: eng, cc: cc, timing: timing}
+	p.stepH = stepHandler{p}
+	p.issueH = issueHandler{p}
+	p.computeH = computeHandler{p}
+	p.trapH = trapHandler{p}
 	p.contexts = make([]*context, nContexts)
 	for i := range p.contexts {
-		p.contexts[i] = &context{state: ctxFinished}
+		c := &context{state: ctxFinished}
+		c.done = func(v uint64) {
+			c.prev = v
+			c.state = ctxReady
+			if !p.running {
+				p.dispatch()
+			}
+		}
+		p.contexts[i] = c
 	}
 	p.finished = nContexts
 	return p
@@ -195,13 +254,7 @@ func (p *Processor) ProtocolTrap() {
 	p.stats.TrapsServiced++
 	p.stats.TrapCycles += cost
 	p.stats.BusyCycles += cost
-	p.eng.At(start+cost, func() {
-		pkt := p.mc.IPIQueue().Pop()
-		if pkt == nil {
-			panic("proc: protocol trap with empty IPI queue")
-		}
-		p.hnd.Handle(pkt)
-	})
+	p.eng.AtHandler(start+cost, &p.trapH, nil)
 }
 
 // dispatch picks the next ready context and runs it. With no ready context
@@ -229,7 +282,7 @@ func (p *Processor) dispatch() {
 			p.cur = idx
 			start := p.pipe.Claim(p.eng.Now(), p.timing.ContextSwitch)
 			p.stats.BusyCycles += p.timing.ContextSwitch
-			p.eng.At(start+p.timing.ContextSwitch, func() { p.step(p.contexts[idx]) })
+			p.eng.AtHandler(start+p.timing.ContextSwitch, &p.stepH, p.contexts[idx])
 			return
 		}
 		p.cur = idx
@@ -269,7 +322,8 @@ func (p *Processor) step(c *context) {
 		start := p.pipe.Claim(p.eng.Now(), 1)
 		p.stats.BusyCycles++
 		c.state = ctxBlocked
-		p.eng.At(start+1, func() { p.issue(c, op) })
+		c.pendingOp = op
+		p.eng.AtHandler(start+1, &p.issueH, c)
 
 	default:
 		panic(fmt.Sprintf("proc: unknown op kind %v", op.Kind))
@@ -291,13 +345,8 @@ func (p *Processor) compute(c *context, remaining sim.Time) {
 	}
 	start := p.pipe.Claim(p.eng.Now(), slice)
 	p.stats.BusyCycles += slice
-	p.eng.At(start+slice, func() {
-		if remaining > slice {
-			p.compute(c, remaining-slice)
-			return
-		}
-		p.step(c)
-	})
+	c.computeLeft = remaining - slice
+	p.eng.AtHandler(start+slice, &p.computeH, c)
 }
 
 // issue hands a memory reference to the cache controller and decides
@@ -307,13 +356,7 @@ func (p *Processor) issue(c *context, op Op) {
 		Addr:   op.Addr,
 		Value:  op.Value,
 		Shared: op.Shared,
-		Done: func(v uint64) {
-			c.prev = v
-			c.state = ctxReady
-			if !p.running {
-				p.dispatch()
-			}
-		},
+		Done:   c.done,
 	}
 	switch op.Kind {
 	case OpStore:

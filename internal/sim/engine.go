@@ -8,12 +8,19 @@
 // counts. Determinism is what lets the test suite assert exact execution
 // times and lets the protocol model checker replay interleavings.
 //
+// The engine is built for throughput: fired and cancelled events are
+// recycled through a free list, so steady-state scheduling performs no heap
+// allocation, and the closure-free AtHandler path lets hot callers avoid
+// allocating a closure per event as well. Because event objects are reused,
+// the scheduling APIs hand out EventRef values — generation-checked handles
+// that keep Cancel and Scheduled safe against a recycled event's next
+// incarnation.
+//
 // Time is measured in processor clock cycles (the paper reports all results
 // in cycles of the 33 MHz SPARCLE clock).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -24,53 +31,48 @@ type Time int64
 // Forever is a Time later than any reachable simulation time.
 const Forever Time = math.MaxInt64
 
+// Handler is the closure-free event callback: hot callers pre-allocate one
+// handler per dispatch kind and pass per-event state through arg (a pointer,
+// to avoid boxing). Cold paths can keep using At with a closure.
+type Handler interface {
+	OnEvent(arg any)
+}
+
 // Event is a unit of scheduled work. The callback runs at the event's
-// deadline with the engine clock already advanced to that deadline.
+// deadline with the engine clock already advanced to that deadline. Event
+// objects are pooled; user code holds EventRef handles, never *Event.
 type Event struct {
 	at    Time
 	seq   uint64
-	index int // heap index; -1 when not queued
+	index int    // heap index; -1 when not queued
+	gen   uint64 // incarnation counter; bumped on every release
 	fn    func()
+	h     Handler
+	arg   any
 }
 
-// Time returns the cycle at which the event fires.
-func (e *Event) Time() Time { return e.at }
+// EventRef is a handle to one scheduled incarnation of an event. The zero
+// EventRef is valid and refers to nothing. Because events are recycled, the
+// handle carries the incarnation's generation: once the event fires or is
+// cancelled, the handle goes stale and reports Scheduled() == false even if
+// the underlying object has been reused for a later event.
+type EventRef struct {
+	ev  *Event
+	gen uint64
+}
 
-// Scheduled reports whether the event is still pending in the queue.
-func (e *Event) Scheduled() bool { return e.index >= 0 }
+// Scheduled reports whether this incarnation is still pending in the queue.
+func (r EventRef) Scheduled() bool {
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.index >= 0
+}
 
-// eventQueue implements heap.Interface over pending events.
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Time returns the cycle at which the event fires, or -1 if the handle is
+// stale (fired, cancelled, or zero).
+func (r EventRef) Time() Time {
+	if !r.Scheduled() {
+		return -1
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+	return r.ev.at
 }
 
 // Engine is a deterministic discrete-event scheduler.
@@ -81,12 +83,20 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now       Time
 	seq       uint64
-	queue     eventQueue
+	queue     []*Event
 	processed uint64
+	free      []*Event // recycled events; see SetPooling
+	noPool    bool
 }
 
 // New returns an engine with the clock at cycle 0.
 func New() *Engine { return &Engine{} }
+
+// SetPooling enables or disables event recycling. Pooling is on by default;
+// disabling it makes every schedule allocate a fresh Event, which is useful
+// only to cross-check that pooling does not perturb results (it must not —
+// event order depends solely on (time, sequence)).
+func (e *Engine) SetPooling(on bool) { e.noPool = !on }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -97,46 +107,102 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// At schedules fn to run at absolute cycle t. Scheduling in the past
-// panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+// alloc takes an event from the free list (or the heap allocator) and
+// stamps it with deadline t and the next sequence number.
+func (e *Engine) alloc(t Time) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
 	return ev
 }
 
+// release retires an event incarnation: stale handles stop matching, the
+// callback state is dropped, and the object returns to the free list.
+func (e *Engine) release(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.h = nil
+	ev.arg = nil
+	if !e.noPool {
+		e.free = append(e.free, ev)
+	}
+}
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) EventRef {
+	ev := e.alloc(t)
+	ev.fn = fn
+	e.push(ev)
+	return EventRef{ev, ev.gen}
+}
+
 // After schedules fn to run delay cycles from now.
-func (e *Engine) After(delay Time, fn func()) *Event {
+func (e *Engine) After(delay Time, fn func()) EventRef {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
 	return e.At(e.now+delay, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// already ran (or was already cancelled) is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// AtHandler schedules h.OnEvent(arg) at absolute cycle t without allocating
+// a closure. Pass pointer-shaped args to keep the call allocation-free.
+func (e *Engine) AtHandler(t Time, h Handler, arg any) EventRef {
+	ev := e.alloc(t)
+	ev.h = h
+	ev.arg = arg
+	e.push(ev)
+	return EventRef{ev, ev.gen}
+}
+
+// AfterHandler schedules h.OnEvent(arg) delay cycles from now.
+func (e *Engine) AfterHandler(delay Time, h Handler, arg any) EventRef {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.AtHandler(e.now+delay, h, arg)
+}
+
+// Cancel removes a pending event from the queue and recycles it.
+// Cancelling a stale handle — the event already ran, was already cancelled,
+// or the zero EventRef — is a no-op.
+func (e *Engine) Cancel(r EventRef) {
+	if !r.Scheduled() {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.remove(r.ev.index)
+	e.release(r.ev)
 }
 
 // Step executes the single earliest pending event, advancing the clock to
-// its deadline. It reports false when no events remain.
+// its deadline. It reports false when no events remain. The event object is
+// recycled before the callback runs, so the callback can immediately
+// schedule into the freed slot.
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.pop()
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	fn, h, arg := ev.fn, ev.h, ev.arg
+	e.release(ev)
+	if h != nil {
+		h.OnEvent(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -165,4 +231,97 @@ func (e *Engine) RunWhile(cond func() bool) Time {
 		e.Step()
 	}
 	return e.now
+}
+
+// --- binary heap over (at, seq), specialized to avoid interface dispatch ---
+
+// less orders events by deadline, ties broken by schedule order.
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.siftUp(ev.index)
+}
+
+func (e *Engine) pop() *Event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	top.index = -1
+	return top
+}
+
+// remove deletes the event at heap position i.
+func (e *Engine) remove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	ev := q[i]
+	if i != n {
+		q[i] = q[n]
+		q[i].index = i
+	}
+	q[n] = nil
+	e.queue = q[:n]
+	if i != n {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	ev.index = -1
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// siftDown moves the event at i toward the leaves; it reports whether the
+// event moved.
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && less(q[r], q[child]) {
+			child = r
+		}
+		if !less(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		q[i].index = i
+		i = child
+	}
+	q[i] = ev
+	ev.index = i
+	return i > start
 }

@@ -95,9 +95,9 @@ func TestEngineCancel(t *testing.T) {
 	if ev.Scheduled() {
 		t.Fatal("cancelled event still reports scheduled")
 	}
-	// Double-cancel and cancel-after-run must be no-ops.
+	// Double-cancel, zero-handle cancel and cancel-after-run must be no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(EventRef{})
 	ev2 := e.At(e.Now()+1, func() {})
 	e.Run()
 	e.Cancel(ev2)
@@ -106,7 +106,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var order []int
-	evs := make([]*Event, 10)
+	evs := make([]EventRef, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.At(Time(i), func() { order = append(order, i) })

@@ -22,7 +22,9 @@ package limitless
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"limitless/internal/check"
 	"limitless/internal/coherence"
@@ -131,6 +133,11 @@ type Config struct {
 	ModifyGrant bool
 	// MaxCycles aborts a run that exceeds this many cycles (0 = no bound).
 	MaxCycles int64
+	// DisableEventPool turns off the simulation engine's event recycling.
+	// Results are bit-identical either way (the pooled-determinism tests
+	// assert it); the switch exists for that cross-check and for memory
+	// debugging, not for normal use.
+	DisableEventPool bool
 }
 
 // DefaultConfig returns the paper's evaluation machine: 64 processors,
@@ -184,7 +191,8 @@ func (c Config) build() (*machine.Machine, error) {
 	if contexts <= 0 {
 		contexts = 1
 	}
-	mc := machine.Config{Width: w, Height: h, Contexts: contexts, Params: params, CacheWays: c.CacheWays}
+	mc := machine.Config{Width: w, Height: h, Contexts: contexts, Params: params, CacheWays: c.CacheWays,
+		DisableEventPool: c.DisableEventPool}
 	mcfg := mesh.DefaultConfig(w, h)
 	override := false
 	switch c.Topology {
@@ -520,20 +528,42 @@ func Run(cfg Config, wl Workload) (Result, error) {
 	return finishResult(m, res), nil
 }
 
-// Sweep runs one workload under many configurations concurrently (one
-// goroutine per configuration; each simulation stays deterministic).
-// Results are returned in configuration order; the first error, if any,
-// is reported alongside.
+// Sweep runs one workload under many configurations on a bounded worker
+// pool of runtime.GOMAXPROCS(0) goroutines (each simulation stays
+// deterministic, so concurrency never changes results — only wall-clock
+// time). Results are returned in configuration order; the first error, in
+// that order, is reported alongside. Use SweepN to pick the pool size.
 func Sweep(cfgs []Config, mk func(cfg Config) Workload) ([]Result, error) {
+	return SweepN(cfgs, mk, 0)
+}
+
+// SweepN is Sweep with an explicit worker count; workers <= 0 selects
+// runtime.GOMAXPROCS(0). A 64-processor simulation holds tens of megabytes
+// of machine state, so bounding the pool bounds peak memory where the old
+// goroutine-per-config fan-out made a 1000-point sweep allocate 1000
+// machines at once.
+func SweepN(cfgs []Config, mk func(cfg Config) Workload, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
 	results := make([]Result, len(cfgs))
 	errs := make([]error, len(cfgs))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, cfg := range cfgs {
-		i, cfg := i, cfg
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = Run(cfg, mk(cfg))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				results[i], errs[i] = Run(cfgs[i], mk(cfgs[i]))
+			}
 		}()
 	}
 	wg.Wait()

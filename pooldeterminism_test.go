@@ -1,0 +1,67 @@
+package limitless_test
+
+import (
+	"testing"
+
+	limitless "limitless"
+)
+
+// TestEventPoolDeterminism is the whole-machine counterpart of the engine's
+// pool determinism test: event recycling must not change a single cycle of
+// a full simulation. It runs Weather and Multigrid under LimitLESS(4) with
+// the event pool on and off and requires every result field that reflects
+// protocol behaviour to match exactly.
+func TestEventPoolDeterminism(t *testing.T) {
+	workloads := []struct {
+		name string
+		mk   func(procs int) limitless.Workload
+	}{
+		{"weather", limitless.Weather},
+		{"multigrid", limitless.Multigrid},
+	}
+	for _, wl := range workloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			cfg := limitless.Config{Procs: 16, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50, Verify: true}
+			pooled, err := limitless.Run(cfg, wl.mk(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.DisableEventPool = true
+			plain, err := limitless.Run(cfg, wl.mk(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pooled.Cycles != plain.Cycles {
+				t.Fatalf("event pool changed cycle count: pooled=%d unpooled=%d", pooled.Cycles, plain.Cycles)
+			}
+			if pooled != plain {
+				t.Fatalf("event pool changed results:\npooled:   %+v\nunpooled: %+v", pooled, plain)
+			}
+		})
+	}
+}
+
+// TestSweepNBounded checks that SweepN with a single worker produces the
+// same order-stable results as the default pool.
+func TestSweepNBounded(t *testing.T) {
+	cfgs := []limitless.Config{
+		{Procs: 16, Scheme: limitless.FullMap, TrapService: 50},
+		{Procs: 16, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50},
+		{Procs: 16, Scheme: limitless.LimitedNB, Pointers: 4, TrapService: 50},
+	}
+	mk := func(cfg limitless.Config) limitless.Workload { return limitless.Weather(cfg.Procs) }
+	serial, err := limitless.SweepN(cfgs, mk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := limitless.Sweep(cfgs, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if serial[i] != pooled[i] {
+			t.Fatalf("config %d: SweepN(1) and Sweep disagree:\nserial: %+v\npooled: %+v", i, serial[i], pooled[i])
+		}
+	}
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — measure simulator throughput and record a trajectory point.
+#
+# Runs BenchmarkSimulatorThroughput (the 64-processor LimitLESS(4) Weather
+# run in bench_test.go) five times with allocation stats, prints the raw
+# `go test -bench` output, and writes a BENCH_<utc-timestamp>.json file in
+# the repo root summarizing the best iteration. Keeping one JSON file per
+# run builds a throughput trajectory across PRs: compare the `simcycles_s`
+# and `allocs_per_op` fields of successive files.
+#
+# Usage: scripts/bench.sh [extra go-test args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+stamp=$(date -u +%Y%m%dT%H%M%SZ)
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+go test -run '^$' -bench=SimulatorThroughput -benchmem -count=5 "$@" . | tee "$out"
+
+# Each benchmark line looks like:
+#   BenchmarkSimulatorThroughput-8  1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
+# Take the best (max simcycles/s) of the five iterations; allocs and bytes
+# are deterministic per run so any line's values serve.
+awk -v stamp="$stamp" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+/^BenchmarkSimulatorThroughput/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "simcycles/s" && $(i-1) + 0 > best) best = $(i-1) + 0
+        if ($i == "allocs/op") allocs = $(i-1) + 0
+        if ($i == "B/op") bytes = $(i-1) + 0
+        if ($i == "ns/op" && (nsop == 0 || $(i-1) + 0 < nsop)) nsop = $(i-1) + 0
+    }
+    n++
+}
+END {
+    if (n == 0) { print "bench.sh: no benchmark lines found" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"SimulatorThroughput\",\n"
+    printf "  \"timestamp\": \"%s\",\n", stamp
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"iterations\": %d,\n", n
+    printf "  \"simcycles_s\": %.0f,\n", best
+    printf "  \"ns_per_op\": %.0f,\n", nsop
+    printf "  \"bytes_per_op\": %.0f,\n", bytes
+    printf "  \"allocs_per_op\": %.0f\n", allocs
+    printf "}\n"
+}' "$out" > "BENCH_${stamp}.json"
+
+echo
+echo "wrote BENCH_${stamp}.json:"
+cat "BENCH_${stamp}.json"
