@@ -166,6 +166,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 }
 
+// BenchmarkShardedThroughput measures the windowed sharded engine on the
+// same 64-processor LimitLESS4 Weather run at 1, 2, 4, and 8 shards.
+// shards-1 is the sequential reference for the windowed semantics; the
+// speedup of shards-4/8 over it is the intra-simulation parallelism gain
+// (BenchmarkSimulatorThroughput remains the single-thread Shards=0
+// baseline).
+func BenchmarkShardedThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4, Shards: shards}
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res, err := limitless.Run(cfg, limitless.Weather(benchProcs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
+}
+
 func BenchmarkAblationFFT(b *testing.B) {
 	runB(b, limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4},
 		func() limitless.Workload { return limitless.FFT(benchProcs, 2) })

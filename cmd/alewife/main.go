@@ -6,6 +6,7 @@
 //	alewife [-scheme limitless] [-pointers 4] [-ts 50] [-procs 64]
 //	        [-workload weather|weather-opt|multigrid|synthetic|migratory|locks|prodcons]
 //	        [-workerset 8] [-contexts 1] [-trace file] [-verify]
+//	        [-shards 0] [-shard-workers 0]
 //	        [-cpuprofile file] [-memprofile file]
 package main
 
@@ -29,6 +30,8 @@ var (
 	ctxFlag      = flag.Int("contexts", 1, "processor hardware contexts")
 	traceFlag    = flag.String("trace", "", "replay a trace file instead of a built-in workload")
 	verifyFlag   = flag.Bool("verify", false, "run the coherence checker after the workload finishes")
+	shardsFlag   = flag.Int("shards", 0, "run on the windowed sharded engine with this many mesh tiles (0 = sequential engine)")
+	shardWFlag   = flag.Int("shard-workers", 0, "goroutines executing shards concurrently (0 = GOMAXPROCS; never changes results)")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfFlag  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 )
@@ -37,12 +40,14 @@ func main() {
 	flag.Parse()
 
 	cfg := limitless.Config{
-		Procs:       *procsFlag,
-		Scheme:      limitless.Scheme(*schemeFlag),
-		Pointers:    *pointersFlag,
-		TrapService: *tsFlag,
-		Contexts:    *ctxFlag,
-		Verify:      *verifyFlag,
+		Procs:        *procsFlag,
+		Scheme:       limitless.Scheme(*schemeFlag),
+		Pointers:     *pointersFlag,
+		TrapService:  *tsFlag,
+		Contexts:     *ctxFlag,
+		Verify:       *verifyFlag,
+		Shards:       *shardsFlag,
+		ShardWorkers: *shardWFlag,
 	}
 
 	var wl limitless.Workload
@@ -125,6 +130,9 @@ func main() {
 
 	fmt.Printf("machine:   %d processors, %s with %d pointers, T_s=%d, %d context(s)\n",
 		cfg.Procs, cfg.Scheme, cfg.Pointers, cfg.TrapService, maxInt(cfg.Contexts, 1))
+	if cfg.Shards > 0 {
+		fmt.Printf("engine:    windowed sharded, %d shards\n", cfg.Shards)
+	}
 	fmt.Printf("cycles:    %d (%.3f Mcycles)\n", res.Cycles, float64(res.Cycles)/1e6)
 	fmt.Printf("T_h:       %.1f cycles average remote access latency\n", res.AvgRemoteLatency)
 	fmt.Printf("hit rate:  %.3f\n", res.HitRate)

@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	figures [-fig all|spec|model|7|8|9|10|scaling|ablation] [-procs 64] [-v]
+//	figures [-fig all|spec|model|7|8|9|10|scaling|ablation] [-procs 64]
+//	        [-workers 0] [-v]
 package main
 
 import (
@@ -26,9 +27,10 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "all", "which figure to regenerate: all, spec, memory, model, 7, 8, 9, 10, scaling, ablation")
-	procsFlag = flag.Int("procs", 64, "processor count (the paper uses 64)")
-	verbose   = flag.Bool("v", false, "print extended statistics per run")
+	figFlag     = flag.String("fig", "all", "which figure to regenerate: all, spec, memory, model, 7, 8, 9, 10, scaling, ablation")
+	procsFlag   = flag.Int("procs", 64, "processor count (the paper uses 64)")
+	workersFlag = flag.Int("workers", 0, "simulations to run in parallel per batch (0 = GOMAXPROCS)")
+	verbose     = flag.Bool("v", false, "print extended statistics per run")
 )
 
 func main() {
@@ -76,8 +78,11 @@ func must[T any](v T, err error) T {
 	return v
 }
 
-func mustRun(cfg limitless.Config, wl limitless.Workload) limitless.Result {
-	return must(limitless.Run(cfg, wl))
+// mustRunAll executes one batch of independent configurations through the
+// bounded sweep pool, so multi-run tables fill all cores instead of
+// simulating one machine at a time.
+func mustRunAll(cfgs []limitless.Config, mk func(limitless.Config) limitless.Workload) []limitless.Result {
+	return must(limitless.SweepN(cfgs, mk, *workersFlag))
 }
 
 func header(title string) {
@@ -243,13 +248,19 @@ func ablation(procs int) {
 	header("Ablations — design choices (beyond the paper's figures)")
 
 	fmt.Println("-- Alternative schemes on Weather:")
-	chart([]experiments.Bar{
-		{Name: "Chained", Result: mustRun(limitless.Config{Procs: procs, Scheme: limitless.Chained, Pointers: 1}, limitless.Weather(procs))},
-		{Name: "LimitLESS4", Result: mustRun(limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4}, limitless.Weather(procs))},
-		{Name: "SoftwareOnly", Result: mustRun(limitless.Config{Procs: procs, Scheme: limitless.SoftwareOnly, Pointers: 1}, limitless.Weather(procs))},
-		{Name: "PrivateOnly", Result: mustRun(limitless.Config{Procs: procs, Scheme: limitless.PrivateOnly}, limitless.Weather(procs))},
-		{Name: "Full-Map", Result: mustRun(limitless.Config{Procs: procs, Scheme: limitless.FullMap}, limitless.Weather(procs))},
-	})
+	schemeNames := []string{"Chained", "LimitLESS4", "SoftwareOnly", "PrivateOnly", "Full-Map"}
+	schemeRes := mustRunAll([]limitless.Config{
+		{Procs: procs, Scheme: limitless.Chained, Pointers: 1},
+		{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4},
+		{Procs: procs, Scheme: limitless.SoftwareOnly, Pointers: 1},
+		{Procs: procs, Scheme: limitless.PrivateOnly},
+		{Procs: procs, Scheme: limitless.FullMap},
+	}, func(c limitless.Config) limitless.Workload { return limitless.Weather(c.Procs) })
+	bars := make([]experiments.Bar, len(schemeRes))
+	for i, r := range schemeRes {
+		bars[i] = experiments.Bar{Name: schemeNames[i], Result: r}
+	}
+	chart(bars)
 
 	fmt.Println("-- Block multithreading (SPARCLE contexts): two remote-reference streams")
 	fmt.Println("   per node, run sequentially on 1 context vs overlapped on 2:")
@@ -264,57 +275,56 @@ func ablation(procs int) {
 	fmt.Println()
 	fmt.Println("-- FFT butterfly exchange (worker-set 2, partner changes per stage):")
 	tbf := stats.NewTable("Scheme", "Mcycles", "Traps", "Evictions")
-	for _, c := range []struct {
-		name string
-		cfg  limitless.Config
-	}{
-		{"Dir1NB", limitless.Config{Procs: procs, Scheme: limitless.LimitedNB, Pointers: 1}},
-		{"LimitLESS1", limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 1}},
-		{"LimitLESS4", limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4}},
-		{"Full-Map", limitless.Config{Procs: procs, Scheme: limitless.FullMap}},
-	} {
-		r := mustRun(c.cfg, limitless.FFT(procs, 2))
-		tbf.Row(c.name, fmt.Sprintf("%.3f", float64(r.Cycles)/1e6), r.Traps, r.Evictions)
+	fftNames := []string{"Dir1NB", "LimitLESS1", "LimitLESS4", "Full-Map"}
+	fftRes := mustRunAll([]limitless.Config{
+		{Procs: procs, Scheme: limitless.LimitedNB, Pointers: 1},
+		{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 1},
+		{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4},
+		{Procs: procs, Scheme: limitless.FullMap},
+	}, func(c limitless.Config) limitless.Workload { return limitless.FFT(c.Procs, 2) })
+	for i, r := range fftRes {
+		tbf.Row(fftNames[i], fmt.Sprintf("%.3f", float64(r.Cycles)/1e6), r.Traps, r.Evictions)
 	}
 	fmt.Println(tbf)
 
 	fmt.Println()
 	fmt.Println("-- Interconnect (ASIM: circuit/packet switching, mesh/Omega), Weather, LimitLESS4:")
 	tb3 := stats.NewTable("Topology", "Mcycles", "Avg packet latency")
-	for _, topo := range []string{"mesh", "circuit", "omega", "ideal"} {
-		cfg := limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, Topology: topo}
-		r := mustRun(cfg, limitless.Weather(procs))
-		tb3.Row(topo, fmt.Sprintf("%.3f", float64(r.Cycles)/1e6), fmt.Sprintf("%.1f", r.NetworkAvgLatency))
+	topos := []string{"mesh", "circuit", "omega", "ideal"}
+	topoCfgs := make([]limitless.Config, len(topos))
+	for i, topo := range topos {
+		topoCfgs[i] = limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, Topology: topo}
+	}
+	topoRes := mustRunAll(topoCfgs, func(c limitless.Config) limitless.Workload { return limitless.Weather(c.Procs) })
+	for i, r := range topoRes {
+		tb3.Row(topos[i], fmt.Sprintf("%.3f", float64(r.Cycles)/1e6), fmt.Sprintf("%.1f", r.NetworkAvgLatency))
 	}
 	fmt.Println(tb3)
 
 	fmt.Println()
 	fmt.Println("-- Modify-grant optimization (paper footnote 1), Weather, LimitLESS4:")
 	tb4 := stats.NewTable("Variant", "Mcycles", "Messages", "Flits")
-	for _, mg := range []bool{false, true} {
-		name := "WDATA grants"
-		if mg {
-			name = "MODG grants"
-		}
-		cfg := limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, ModifyGrant: mg}
-		r := mustRun(cfg, limitless.Weather(procs))
-		tb4.Row(name, fmt.Sprintf("%.3f", float64(r.Cycles)/1e6), r.Messages, r.NetworkFlits)
+	mgNames := []string{"WDATA grants", "MODG grants"}
+	mgRes := mustRunAll([]limitless.Config{
+		{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, ModifyGrant: false},
+		{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, ModifyGrant: true},
+	}, func(c limitless.Config) limitless.Workload { return limitless.Weather(c.Procs) })
+	for i, r := range mgRes {
+		tb4.Row(mgNames[i], fmt.Sprintf("%.3f", float64(r.Cycles)/1e6), r.Messages, r.NetworkFlits)
 	}
 	fmt.Println(tb4)
 
 	fmt.Println()
 	fmt.Println("-- Migratory data, ownership hand-off stress (token ring):")
 	tb2 := stats.NewTable("Scheme", "Mcycles", "Invalidations", "Traps")
-	for _, c := range []struct {
-		name string
-		cfg  limitless.Config
-	}{
-		{"Full-Map", limitless.Config{Procs: procs, Scheme: limitless.FullMap}},
-		{"LimitLESS4", limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4}},
-		{"Chained", limitless.Config{Procs: procs, Scheme: limitless.Chained, Pointers: 1}},
-	} {
-		r := mustRun(c.cfg, limitless.Migratory(procs, 2))
-		tb2.Row(c.name, fmt.Sprintf("%.3f", float64(r.Cycles)/1e6), r.Invalidations, r.Traps)
+	migNames := []string{"Full-Map", "LimitLESS4", "Chained"}
+	migRes := mustRunAll([]limitless.Config{
+		{Procs: procs, Scheme: limitless.FullMap},
+		{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4},
+		{Procs: procs, Scheme: limitless.Chained, Pointers: 1},
+	}, func(c limitless.Config) limitless.Workload { return limitless.Migratory(c.Procs, 2) })
+	for i, r := range migRes {
+		tb2.Row(migNames[i], fmt.Sprintf("%.3f", float64(r.Cycles)/1e6), r.Invalidations, r.Traps)
 	}
 	fmt.Println(tb2)
 

@@ -109,7 +109,7 @@ type txn struct {
 // and answers the directory's invalidations.
 type CacheController struct {
 	eng    *sim.Engine
-	nw     *mesh.Network
+	nw     NetPort
 	id     mesh.NodeID
 	params Params
 	home   Placement
@@ -165,7 +165,7 @@ func (h *completionHandler) OnEvent(arg any) {
 }
 
 // NewCacheController builds the cache side of node id.
-func NewCacheController(eng *sim.Engine, nw *mesh.Network, id mesh.NodeID, params Params, home Placement, c *cache.Cache) *CacheController {
+func NewCacheController(eng *sim.Engine, nw NetPort, id mesh.NodeID, params Params, home Placement, c *cache.Cache) *CacheController {
 	params.validate()
 	if home == nil {
 		panic("coherence: nil placement")

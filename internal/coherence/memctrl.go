@@ -95,7 +95,7 @@ type deferredPkt struct {
 // and the IPI forwarding machinery of the LimitLESS scheme.
 type MemoryController struct {
 	eng    *sim.Engine
-	nw     *mesh.Network
+	nw     NetPort
 	id     mesh.NodeID
 	params Params
 
@@ -137,7 +137,7 @@ func (h *processHandler) OnEvent(arg any) {
 
 // NewMemoryController builds the directory side of node id. The sink may
 // be nil for schemes that never trap (full-map, limited, private, chained).
-func NewMemoryController(eng *sim.Engine, nw *mesh.Network, id mesh.NodeID, params Params, sink TrapSink) *MemoryController {
+func NewMemoryController(eng *sim.Engine, nw NetPort, id mesh.NodeID, params Params, sink TrapSink) *MemoryController {
 	params.validate()
 	if params.IPIQueueCap < 1 {
 		params.IPIQueueCap = 8

@@ -1,0 +1,22 @@
+package coherence
+
+import "limitless/internal/mesh"
+
+// NetPort is the injection interface the controllers send protocol messages
+// through: the whole *mesh.Network in sequential mode, or one shard's
+// *mesh.ShardPort in windowed sharded mode. Controllers never need anything
+// else from the network — delivery comes back through the machine's
+// registered ejection handlers.
+type NetPort interface {
+	SendFrom(src, dst mesh.NodeID, flits int, payload any)
+}
+
+// MinMsgFlits is the length of the shortest protocol message (header +
+// address operand; see Msg.Flits). The sharded engine's lookahead window is
+// derived from the network latency of a packet this short.
+const MinMsgFlits = 2
+
+var (
+	_ NetPort = (*mesh.Network)(nil)
+	_ NetPort = (*mesh.ShardPort)(nil)
+)

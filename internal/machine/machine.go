@@ -47,6 +47,18 @@ type Config struct {
 	// DisableEventPool turns off engine event recycling (cross-checking
 	// and memory debugging only; results are identical either way).
 	DisableEventPool bool
+	// Shards, when positive, runs the simulation on the windowed sharded
+	// engine: nodes are split into Shards contiguous tiles, each with its
+	// own event heap, executed concurrently in conservative time windows
+	// with all network traffic applied at the window barriers. Results are
+	// bit-identical for every Shards >= 1 value and any worker count;
+	// Shards == 0 (the default) is the original sequential engine, whose
+	// same-cycle network arbitration order differs, so its cycle counts are
+	// a distinct deterministic baseline. Clamped to the node count.
+	Shards int
+	// ShardWorkers caps the goroutines executing shards concurrently
+	// (0 = GOMAXPROCS). It affects only wall-clock speed, never results.
+	ShardWorkers int
 }
 
 // DefaultConfig returns the paper's evaluation machine: 64 processors,
@@ -75,10 +87,18 @@ type Node struct {
 
 // Machine is the assembled multiprocessor.
 type Machine struct {
+	// Eng is the simulation engine — in sharded mode, shard 0's engine.
 	Eng   *sim.Engine
 	Net   *mesh.Network
 	Nodes []*Node
 	cfg   Config
+
+	// Sharded-mode wiring: one engine and network port per shard, the
+	// node→shard map, and the window driver. All nil/empty when Shards == 0.
+	engines   []*sim.Engine
+	ports     []*mesh.ShardPort
+	nodeShard []int
+	sharded   *sim.ShardedEngine
 }
 
 // New builds a machine. Processors have no workloads yet; bind them with
@@ -102,18 +122,46 @@ func New(cfg Config) *Machine {
 		cfg.Params.DefaultMeta = directory.TrapAlways
 	}
 
-	eng := sim.New()
-	if cfg.DisableEventPool {
-		eng.SetPooling(false)
+	if cfg.Shards > n {
+		cfg.Shards = n
 	}
+
 	mcfg := mesh.DefaultConfig(cfg.Width, cfg.Height)
 	if cfg.Mesh != nil {
 		mcfg = *cfg.Mesh
 		mcfg.Width, mcfg.Height = cfg.Width, cfg.Height
 	}
-	nw := mesh.New(eng, mcfg)
 
-	m := &Machine{Eng: eng, Net: nw, cfg: cfg}
+	m := &Machine{cfg: cfg}
+	if k := cfg.Shards; k > 0 {
+		m.engines = make([]*sim.Engine, k)
+		for i := range m.engines {
+			e := sim.New()
+			e.SetCycleSeq(true)
+			if cfg.DisableEventPool {
+				e.SetPooling(false)
+			}
+			m.engines[i] = e
+		}
+		m.Eng = m.engines[0]
+		m.Net = mesh.New(m.Eng, mcfg)
+		// Contiguous balanced tiles: node id lives on shard id·k/n.
+		m.nodeShard = make([]int, n)
+		for id := range m.nodeShard {
+			m.nodeShard[id] = id * k / n
+		}
+		m.ports = m.Net.ShardPorts(m.engines, m.nodeShard)
+		window := mcfg.MinPacketLatency(coherence.MinMsgFlits)
+		m.sharded = sim.NewShardedEngine(m.engines, window,
+			func(limit sim.Time) { m.Net.FlushWindow(limit) }, cfg.ShardWorkers)
+	} else {
+		eng := sim.New()
+		if cfg.DisableEventPool {
+			eng.SetPooling(false)
+		}
+		m.Eng = eng
+		m.Net = mesh.New(eng, mcfg)
+	}
 	for id := mesh.NodeID(0); int(id) < n; id++ {
 		m.Nodes = append(m.Nodes, m.buildNode(id))
 	}
@@ -122,10 +170,16 @@ func New(cfg Config) *Machine {
 
 func (m *Machine) buildNode(id mesh.NodeID) *Node {
 	cfg := m.cfg
+	eng := m.Eng
+	var port coherence.NetPort = m.Net
+	if m.sharded != nil {
+		eng = m.engines[m.nodeShard[id]]
+		port = m.ports[m.nodeShard[id]]
+	}
 	c := cache.New(cache.Config{Lines: cfg.CacheLines, Ways: cfg.CacheWays, BlockWords: cfg.Params.BlockWords})
-	cc := coherence.NewCacheController(m.Eng, m.Net, id, cfg.Params, HomeOf, c)
-	p := proc.New(m.Eng, cc, cfg.Params.Timing, cfg.Contexts)
-	mc := coherence.NewMemoryController(m.Eng, m.Net, id, cfg.Params, p)
+	cc := coherence.NewCacheController(eng, port, id, cfg.Params, HomeOf, c)
+	p := proc.New(eng, cc, cfg.Params.Timing, cfg.Contexts)
+	mc := coherence.NewMemoryController(eng, port, id, cfg.Params, p)
 
 	node := &Node{ID: id, Cache: c, CC: cc, MC: mc, Proc: p}
 
@@ -256,7 +310,13 @@ func (m *Machine) Run() Result {
 	for _, n := range m.Nodes {
 		n.Proc.Start()
 	}
-	end := m.Eng.Run()
+	var end sim.Time
+	if m.sharded != nil {
+		end = m.sharded.Run()
+		m.sharded.Stop()
+	} else {
+		end = m.Eng.Run()
+	}
 	for _, n := range m.Nodes {
 		if !n.Proc.Done() {
 			panic(fmt.Sprintf("machine: deadlock — node %d still blocked at cycle %d (outstanding=%d)",
@@ -272,7 +332,13 @@ func (m *Machine) RunUntil(limit sim.Time) (Result, bool) {
 	for _, n := range m.Nodes {
 		n.Proc.Start()
 	}
-	end := m.Eng.RunUntil(limit)
+	var end sim.Time
+	if m.sharded != nil {
+		end = m.sharded.RunUntil(limit)
+		m.sharded.Stop()
+	} else {
+		end = m.Eng.RunUntil(limit)
+	}
 	done := true
 	for _, n := range m.Nodes {
 		if !n.Proc.Done() {
@@ -282,8 +348,15 @@ func (m *Machine) RunUntil(limit sim.Time) (Result, bool) {
 	return m.collect(end), done
 }
 
+func (m *Machine) processed() uint64 {
+	if m.sharded != nil {
+		return m.sharded.Processed()
+	}
+	return m.Eng.Processed()
+}
+
 func (m *Machine) collect(end sim.Time) Result {
-	res := Result{Cycles: end, Events: m.Eng.Processed(), Network: m.Net.Stats()}
+	res := Result{Cycles: end, Events: m.processed(), Network: m.Net.Stats()}
 	for _, n := range m.Nodes {
 		cs := n.CC.Stats()
 		ms := n.MC.Stats()

@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"limitless/internal/coherence"
+	"limitless/internal/mesh"
+	"limitless/internal/sim"
+	"limitless/internal/workload"
+)
+
+// shardedTestMachine builds a 16-node machine whose nodes hammer a few
+// shared blocks — enough cross-node traffic to make any merge-order or
+// synchronization slip visible in the cycle counts.
+func shardedTestMachine(shards, workers int) *Machine {
+	params := coherence.DefaultParams(16)
+	params.Scheme = coherence.LimitLESS
+	params.Pointers = 4
+	m := New(Config{Width: 4, Height: 4, Contexts: 1, Params: params,
+		Shards: shards, ShardWorkers: workers})
+	hot := Block(0, 1)
+	flag := Block(5, 1)
+	for id := mesh.NodeID(0); id < 16; id++ {
+		id := id
+		m.SetWorkload(id, 0, workload.NewThread(func(th *workload.Thread) {
+			var step func(i int, _ uint64, th *workload.Thread)
+			step = func(i int, _ uint64, th *workload.Thread) {
+				if i == 0 {
+					th.Store(flag, uint64(id), func(_ uint64, th *workload.Thread) {})
+					return
+				}
+				th.Load(hot, func(_ uint64, th *workload.Thread) {
+					th.Store(Block(id, 1), uint64(i), func(_ uint64, th *workload.Thread) {
+						th.Compute(sim.Time(id%3)+1, func(_ uint64, th *workload.Thread) {
+							step(i-1, 0, th)
+						})
+					})
+				})
+			}
+			step(12, 0, th)
+		}))
+	}
+	return m
+}
+
+// TestShardedWorkerInvariance: the same sharded machine must produce
+// bit-identical results no matter how many goroutines execute the shards —
+// the worker pool is a wall-clock knob, never a semantic one.
+func TestShardedWorkerInvariance(t *testing.T) {
+	ref := shardedTestMachine(4, 1).Run()
+	for _, workers := range []int{2, 4} {
+		got := shardedTestMachine(4, workers).Run()
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, got, ref)
+		}
+	}
+}
+
+// TestShardedShardCountInvariance: shard counts 1..16 all yield the
+// windowed semantics' one deterministic answer.
+func TestShardedShardCountInvariance(t *testing.T) {
+	ref := shardedTestMachine(1, 1).Run()
+	if ref.Cycles == 0 || ref.Network.Packets == 0 {
+		t.Fatalf("degenerate reference run: %+v", ref)
+	}
+	for _, shards := range []int{2, 4, 8, 16} {
+		got := shardedTestMachine(shards, 2).Run()
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("shards=%d diverged:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}
+
+// TestShardedRunUntil: the windowed engine honors partial-run limits the
+// same way at every shard count.
+func TestShardedRunUntil(t *testing.T) {
+	limit := int64(400)
+	refRes, refDone := shardedTestMachine(1, 1).RunUntil(400)
+	if refDone {
+		t.Skipf("limit %d no longer interrupts the run; lower it", limit)
+	}
+	for _, shards := range []int{2, 4} {
+		res, done := shardedTestMachine(shards, 2).RunUntil(400)
+		if done != refDone || !reflect.DeepEqual(res, refRes) {
+			t.Fatalf("shards=%d RunUntil diverged (done=%v):\n got %+v\nwant %+v", shards, done, res, refRes)
+		}
+	}
+}
+
+// TestShardsClampedToNodes: more shards than nodes must degrade gracefully.
+func TestShardsClampedToNodes(t *testing.T) {
+	params := coherence.DefaultParams(4)
+	m := New(Config{Width: 2, Height: 2, Contexts: 1, Params: params, Shards: 64})
+	if got := len(m.engines); got != 4 {
+		t.Fatalf("built %d engines for 4 nodes", got)
+	}
+	for id := mesh.NodeID(0); id < 4; id++ {
+		m.SetWorkload(id, 0, workload.NewThread(func(th *workload.Thread) {
+			th.Store(Block(id, 1), 1, func(_ uint64, th *workload.Thread) {})
+		}))
+	}
+	if res := m.Run(); res.Cycles == 0 {
+		t.Fatal("clamped machine did not run")
+	}
+}

@@ -182,6 +182,12 @@ type Network struct {
 	routeBuf []int
 	freePkts []*Packet
 	freeDels []*delivery
+
+	// Sharded mode (see sharded.go): per-shard injection ports, the
+	// node→shard map, and the barrier's merge scratch buffer.
+	ports     []*ShardPort
+	nodeShard []int
+	flushBuf  sendLog
 }
 
 // delivery carries one in-flight packet from its delivery event to the
@@ -255,8 +261,22 @@ func (nw *Network) Nodes() int { return nw.n }
 // Config returns the network configuration.
 func (nw *Network) Config() Config { return nw.cfg }
 
-// Stats returns a copy of the accumulated statistics.
-func (nw *Network) Stats() Stats { return nw.stats }
+// Stats returns a copy of the accumulated statistics. In sharded mode the
+// per-shard port counters are folded in; all of them are sums or maxima, so
+// the merge is independent of the partition.
+func (nw *Network) Stats() Stats {
+	s := nw.stats
+	for _, p := range nw.ports {
+		s.Packets += p.stats.Packets
+		s.Flits += p.stats.Flits
+		s.TotalLatency += p.stats.TotalLatency
+		s.LocalPackets += p.stats.LocalPackets
+		if p.stats.MaxLatency > s.MaxLatency {
+			s.MaxLatency = p.stats.MaxLatency
+		}
+	}
+	return s
+}
 
 // Register installs the ejection handler for node id.
 func (nw *Network) Register(id NodeID, h Handler) {
@@ -362,13 +382,21 @@ func (nw *Network) send(pkt *Packet, pooled bool) {
 		nw.deliverAt(now+nw.cfg.LocalLatency, pkt, now, pooled)
 		return
 	}
+	at := nw.claimPath(now, pkt.Src, pkt.Dst, pkt.Flits)
+	nw.deliverAt(at, pkt, now, pooled)
+}
 
-	serial := sim.Time(pkt.Flits) * nw.cfg.FlitCycle
+// claimPath walks a packet's route for an injection at cycle now, claiming
+// the traversed channels and the destination's ejection port, and returns
+// the delivery cycle. This is the network's entire contention model; both
+// the sequential send path and the sharded window flush go through it.
+func (nw *Network) claimPath(now sim.Time, src, dst NodeID, flits int) sim.Time {
+	serial := sim.Time(flits) * nw.cfg.FlitCycle
 	head := now + nw.cfg.InjectLatency
 
 	switch nw.cfg.Topology {
 	case Mesh2D:
-		path := nw.route(pkt.Src, pkt.Dst)
+		path := nw.route(src, dst)
 		if nw.cfg.Switching == Circuit {
 			// Circuit switching: find when every channel on the path is
 			// simultaneously free (fixpoint over the path), then hold the
@@ -400,10 +428,10 @@ func (nw *Network) send(pkt *Packet, pooled bool) {
 		// Destination-tag routing through the shuffle-exchange stages:
 		// after stage s the packet sits on inter-stage channel
 		// (s, shuffled position with the s-th destination bit shifted in).
-		pos := uint(pkt.Src)
+		pos := uint(src)
 		k := nw.omegaStages
 		for s := 0; s < k; s++ {
-			bit := (uint(pkt.Dst) >> (k - 1 - s)) & 1
+			bit := (uint(dst) >> (k - 1 - s)) & 1
 			pos = ((pos << 1) | bit) & uint(nw.omegaWidth-1)
 			ch := &nw.omega[s*nw.omegaWidth+int(pos)]
 			start := ch.res.Claim(head, serial)
@@ -414,18 +442,46 @@ func (nw *Network) send(pkt *Packet, pooled bool) {
 	head += nw.jitter()
 
 	// Ejection channel: all packets entering a node serialize here.
-	start := nw.eject[pkt.Dst].res.Claim(head, serial)
+	start := nw.eject[dst].res.Claim(head, serial)
 	at := start + serial
 
 	// Jitter must never reorder a (src,dst) pair: enforce FIFO delivery.
 	if nw.cfg.JitterMax > 0 {
-		key := uint64(pkt.Src)<<32 | uint64(uint32(pkt.Dst))
+		key := uint64(src)<<32 | uint64(uint32(dst))
 		if last := nw.pairLast[key]; at <= last {
 			at = last + 1
 		}
 		nw.pairLast[key] = at
 	}
-	nw.deliverAt(at, pkt, now, pooled)
+	return at
+}
+
+// MinPacketLatency returns a lower bound on the inject-to-eject latency of
+// any packet of at least minFlits flits between two distinct nodes. Every
+// topology's delivery time satisfies
+//
+//	at ≥ now + InjectLatency + (first hop) + minFlits·FlitCycle
+//
+// where the first hop costs HopLatency (Mesh2D, Omega, Circuit) or
+// IdealLatency (Ideal); contention, extra hops, and jitter only add to it.
+// This bound is the lookahead that makes windowed sharded execution sound:
+// a packet sent inside a window can never be delivered inside it. The
+// result is clamped to ≥ 1 cycle; configurations whose true minimum is 0
+// (all latency constants zero) cannot be sharded, which the window flush
+// detects and reports.
+func (cfg Config) MinPacketLatency(minFlits int) sim.Time {
+	if minFlits < 1 {
+		minFlits = 1
+	}
+	hop := cfg.HopLatency
+	if cfg.Topology == Ideal {
+		hop = cfg.IdealLatency
+	}
+	w := cfg.InjectLatency + hop + sim.Time(minFlits)*cfg.FlitCycle
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // deliverAt schedules the ejection event through the closure-free handler

@@ -1,0 +1,205 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"limitless/internal/sim"
+)
+
+// Sharded execution support. In sharded mode each shard's controllers
+// inject through their own ShardPort instead of the Network: purely local
+// (src == dst) deliveries stay on the shard's engine, and every packet
+// between distinct nodes — whether or not the destination lies in the same
+// shard — is deferred into the port's send log. At each window barrier
+// FlushWindow replays all deferred sends in one canonical order through the
+// shared contention model (channels, ejection ports, jitter), then inserts
+// the delivery events into the destination shards' engines under
+// partition-independent sequence keys.
+//
+// Deferring *all* non-local traffic, not just boundary crossings, is what
+// makes the simulation invariant under the shard count: the channel and
+// ejection resources, the jitter stream, and the FIFO bookkeeping are only
+// ever touched at the single-threaded barrier, in an order derived from
+// (send cycle, source node, per-source program order) — quantities that do
+// not depend on how nodes are partitioned. The price is that in windowed
+// mode same-cycle sends arbitrate for channels in canonical order rather
+// than in the sequential engine's event-interleaving order, so windowed
+// results are a distinct (equally valid, equally deterministic) timing
+// semantics from the Shards=0 engine.
+
+// deferredSend is one logged injection awaiting the window barrier.
+type deferredSend struct {
+	at       sim.Time
+	src, dst NodeID
+	flits    int
+	payload  any
+}
+
+// sendLog sorts deferred sends by (send cycle, source node); sort.Stable
+// preserves each source's program order within a cycle.
+type sendLog []deferredSend
+
+func (l sendLog) Len() int      { return len(l) }
+func (l sendLog) Swap(i, j int) { l[i], l[j] = l[j], l[i] }
+func (l sendLog) Less(i, j int) bool {
+	if l[i].at != l[j].at {
+		return l[i].at < l[j].at
+	}
+	return l[i].src < l[j].src
+}
+
+// ShardPort is one shard's interface to the network. It satisfies the same
+// SendFrom contract as Network and is bound to the shard's engine; it may
+// only be used from the goroutine currently executing that engine.
+type ShardPort struct {
+	nw  *Network
+	eng *sim.Engine
+
+	stats    Stats
+	log      sendLog
+	freePkts []*Packet
+	freeDels []*delivery
+}
+
+// Engine returns the shard engine this port is bound to.
+func (p *ShardPort) Engine() *sim.Engine { return p.eng }
+
+// Stats returns this port's share of the network statistics.
+func (p *ShardPort) Stats() Stats { return p.stats }
+
+// SendFrom injects a packet from a node owned by this shard. Local
+// deliveries are scheduled immediately on the shard engine; everything else
+// is deferred to the next window barrier.
+func (p *ShardPort) SendFrom(src, dst NodeID, flits int, payload any) {
+	if flits <= 0 {
+		panic("mesh: packet with no flits")
+	}
+	nw := p.nw
+	if int(src) >= nw.n || int(dst) >= nw.n || src < 0 || dst < 0 {
+		panic(fmt.Sprintf("mesh: packet endpoints out of range: %d->%d", src, dst))
+	}
+	now := p.eng.Now()
+	if src == dst {
+		p.stats.LocalPackets++
+		p.schedule(now+nw.cfg.LocalLatency, 0, false, src, dst, flits, payload, now)
+		return
+	}
+	p.log = append(p.log, deferredSend{at: now, src: src, dst: dst, flits: flits, payload: payload})
+}
+
+// schedule borrows a pooled packet and delivery record and queues the
+// ejection event on this port's engine — under the engine's own sequence
+// key, or under an explicit barrier key when seqKey is set.
+func (p *ShardPort) schedule(at sim.Time, seq uint64, seqKey bool, src, dst NodeID, flits int, payload any, injected sim.Time) {
+	var pkt *Packet
+	if n := len(p.freePkts); n > 0 {
+		pkt = p.freePkts[n-1]
+		p.freePkts[n-1] = nil
+		p.freePkts = p.freePkts[:n-1]
+	} else {
+		pkt = &Packet{}
+	}
+	pkt.Src, pkt.Dst, pkt.Flits, pkt.Payload = src, dst, flits, payload
+	var d *delivery
+	if n := len(p.freeDels); n > 0 {
+		d = p.freeDels[n-1]
+		p.freeDels[n-1] = nil
+		p.freeDels = p.freeDels[:n-1]
+	} else {
+		d = &delivery{}
+	}
+	d.pkt, d.injected, d.pooled = pkt, injected, true
+	if seqKey {
+		p.eng.AtHandlerSeq(at, seq, p, d)
+	} else {
+		p.eng.AtHandler(at, p, d)
+	}
+}
+
+// OnEvent implements sim.Handler: it ejects one packet at its destination,
+// accounting stats to this shard.
+func (p *ShardPort) OnEvent(arg any) {
+	d := arg.(*delivery)
+	pkt, injected := d.pkt, d.injected
+	d.pkt = nil
+	p.freeDels = append(p.freeDels, d)
+
+	lat := p.eng.Now() - injected
+	p.stats.Packets++
+	p.stats.Flits += uint64(pkt.Flits)
+	p.stats.TotalLatency += lat
+	if lat > p.stats.MaxLatency {
+		p.stats.MaxLatency = lat
+	}
+	h := p.nw.handlers[pkt.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("mesh: no handler registered for node %d", pkt.Dst))
+	}
+	h(pkt)
+	pkt.Payload = nil
+	p.freePkts = append(p.freePkts, pkt)
+}
+
+// ShardPorts switches the network into sharded mode: nodeShard maps each
+// node to the index of the engine that executes it, and the returned ports
+// (one per engine) replace the Network as the controllers' injection
+// interface. Register handlers as usual; deliveries invoke them on the
+// destination node's shard engine.
+func (nw *Network) ShardPorts(engines []*sim.Engine, nodeShard []int) []*ShardPort {
+	if len(nodeShard) != nw.n {
+		panic(fmt.Sprintf("mesh: nodeShard has %d entries for %d nodes", len(nodeShard), nw.n))
+	}
+	for id, s := range nodeShard {
+		if s < 0 || s >= len(engines) {
+			panic(fmt.Sprintf("mesh: node %d assigned to shard %d of %d", id, s, len(engines)))
+		}
+	}
+	nw.nodeShard = nodeShard
+	nw.ports = make([]*ShardPort, len(engines))
+	for i, eng := range engines {
+		nw.ports[i] = &ShardPort{nw: nw, eng: eng}
+	}
+	return nw.ports
+}
+
+// FlushWindow applies every send deferred during the window ending at limit
+// (exclusive). It runs single-threaded between windows: deferred sends are
+// merged from all shards, ordered canonically by (send cycle, source node,
+// per-source program order), replayed through the contention model, and the
+// resulting deliveries inserted into the destination shards' engines with
+// barrier-phase sequence keys derived from the same canonical order. Every
+// delivery must land at or after limit — the lookahead guarantee — and a
+// violation panics rather than silently corrupting the timing model.
+func (nw *Network) FlushWindow(limit sim.Time) {
+	buf := nw.flushBuf[:0]
+	for _, p := range nw.ports {
+		buf = append(buf, p.log...)
+		for i := range p.log {
+			p.log[i].payload = nil
+		}
+		p.log = p.log[:0]
+	}
+	sort.Stable(buf)
+
+	cycle := sim.Time(-1)
+	ctr := uint32(0)
+	for i := range buf {
+		e := &buf[i]
+		if e.at != cycle {
+			cycle = e.at
+			ctr = 0
+		}
+		at := nw.claimPath(e.at, e.src, e.dst, e.flits)
+		if at < limit {
+			panic(fmt.Sprintf("mesh: lookahead violation — packet %d->%d sent at %d delivered at %d inside window ending %d (network latency below the shard window)",
+				e.src, e.dst, e.at, at, limit))
+		}
+		seq := sim.WindowSeq(e.at, true, ctr)
+		ctr++
+		dp := nw.ports[nw.nodeShard[e.dst]]
+		dp.schedule(at, seq, true, e.src, e.dst, e.flits, e.payload, e.at)
+		e.payload = nil
+	}
+	nw.flushBuf = buf[:0]
+}

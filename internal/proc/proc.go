@@ -111,8 +111,8 @@ type context struct {
 	// Closure-free scheduling scratch. A context has at most one pending
 	// pipeline event (compute slice, issue, or switch-in), so one set of
 	// fields per context suffices.
-	computeLeft sim.Time // cycles of the current compute op still to burn
-	pendingOp   Op       // memory op parked across the one-cycle issue slot
+	computeLeft sim.Time       // cycles of the current compute op still to burn
+	pendingOp   Op             // memory op parked across the one-cycle issue slot
 	done        func(v uint64) // per-context completion callback, allocated once
 }
 

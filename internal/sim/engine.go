@@ -87,6 +87,12 @@ type Engine struct {
 	processed uint64
 	free      []*Event // recycled events; see SetPooling
 	noPool    bool
+
+	// Windowed-mode sequencing (see SetCycleSeq): seqCycle is the cycle the
+	// per-cycle counter is counting for, cycleCtr the next counter value.
+	cycleSeq bool
+	seqCycle Time
+	cycleCtr uint32
 }
 
 // New returns an engine with the clock at cycle 0.
@@ -98,6 +104,53 @@ func New() *Engine { return &Engine{} }
 // event order depends solely on (time, sequence)).
 func (e *Engine) SetPooling(on bool) { e.noPool = !on }
 
+// Cycle-tagged sequence layout (windowed mode). A sequence number encodes
+// (allocation cycle, phase, per-cycle counter) so that tie-breaking among
+// same-deadline events depends only on each event's allocation cycle and its
+// scheduling order within that cycle — quantities that are identical no
+// matter how a sharded run partitions nodes across engines. Phase orders
+// barrier-flush insertions (phase 1) after events allocated during cycle
+// execution at the same cycle (phase 0).
+const (
+	seqCtrBits    = 24
+	seqPhaseShift = seqCtrBits
+	seqCycleShift = seqCtrBits + 1
+	seqCtrLimit   = 1 << seqCtrBits
+	seqCycleLimit = Time(1) << (64 - seqCycleShift)
+)
+
+// SetCycleSeq switches the engine between plain monotone sequence numbers
+// (the default) and cycle-tagged sequence numbers. Windowed sharded
+// execution requires cycle tagging on every participating engine so that
+// same-deadline tie-breaks are invariant under the shard partition. Switch
+// only while the queue is empty; mixing the two numbering schemes in one
+// heap would compare unrelated keys.
+func (e *Engine) SetCycleSeq(on bool) {
+	if len(e.queue) > 0 {
+		panic("sim: SetCycleSeq with events pending")
+	}
+	e.cycleSeq = on
+}
+
+// WindowSeq builds a cycle-tagged sequence number by hand: the key an event
+// allocated at cycle with per-cycle counter ctr would receive. flush selects
+// the barrier-flush phase, ordered after all same-cycle execution-phase
+// events. Used by window barriers to stamp cross-shard insertions with a
+// partition-independent key.
+func WindowSeq(cycle Time, flush bool, ctr uint32) uint64 {
+	if cycle < 0 || cycle >= seqCycleLimit {
+		panic(fmt.Sprintf("sim: cycle %d out of range for cycle-tagged seq", cycle))
+	}
+	if ctr >= seqCtrLimit {
+		panic("sim: per-cycle sequence counter overflow")
+	}
+	s := uint64(cycle)<<seqCycleShift | uint64(ctr)
+	if flush {
+		s |= 1 << seqPhaseShift
+	}
+	return s
+}
+
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -107,9 +160,18 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// alloc takes an event from the free list (or the heap allocator) and
-// stamps it with deadline t and the next sequence number.
-func (e *Engine) alloc(t Time) *Event {
+// NextEventTime returns the deadline of the earliest pending event. ok is
+// false when the queue is empty.
+func (e *Engine) NextEventTime() (t Time, ok bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// allocEvent takes an event from the free list (or the heap allocator) and
+// stamps it with deadline t, leaving the sequence key to the caller.
+func (e *Engine) allocEvent(t Time) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
@@ -122,8 +184,23 @@ func (e *Engine) alloc(t Time) *Event {
 		ev = &Event{}
 	}
 	ev.at = t
-	ev.seq = e.seq
-	e.seq++
+	return ev
+}
+
+// alloc stamps a fresh event with deadline t and the next sequence number.
+func (e *Engine) alloc(t Time) *Event {
+	ev := e.allocEvent(t)
+	if e.cycleSeq {
+		if e.now != e.seqCycle {
+			e.seqCycle = e.now
+			e.cycleCtr = 0
+		}
+		ev.seq = WindowSeq(e.now, false, e.cycleCtr)
+		e.cycleCtr++
+	} else {
+		ev.seq = e.seq
+		e.seq++
+	}
 	return ev
 }
 
@@ -160,6 +237,24 @@ func (e *Engine) After(delay Time, fn func()) EventRef {
 // a closure. Pass pointer-shaped args to keep the call allocation-free.
 func (e *Engine) AtHandler(t Time, h Handler, arg any) EventRef {
 	ev := e.alloc(t)
+	ev.h = h
+	ev.arg = arg
+	e.push(ev)
+	return EventRef{ev, ev.gen}
+}
+
+// AtHandlerSeq schedules h.OnEvent(arg) at absolute cycle t with an
+// explicit sequence key instead of the engine's own numbering. Window
+// barriers use this to insert cross-shard deliveries under a WindowSeq key
+// so that tie-breaking is identical across shard partitions. Keys must be
+// cycle-tagged (the engine must be in SetCycleSeq mode) and unique per
+// (t, seq) within this engine.
+func (e *Engine) AtHandlerSeq(t Time, seq uint64, h Handler, arg any) EventRef {
+	if !e.cycleSeq {
+		panic("sim: AtHandlerSeq on an engine without cycle-tagged sequencing")
+	}
+	ev := e.allocEvent(t)
+	ev.seq = seq
 	ev.h = h
 	ev.arg = arg
 	e.push(ev)

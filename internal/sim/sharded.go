@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// ShardedEngine drives several engines in conservative lockstep time
+// windows — the classic Chandy-Misra lookahead discipline specialized to a
+// fixed window width. The caller partitions its model across K engines such
+// that, within any window of that width, the shards interact only through a
+// flush callback run at the window barrier: during a window each engine
+// executes its local events [T, T+W) with no access to any other shard's
+// state, and all cross-shard effects are deferred to the single-threaded
+// barrier. W must therefore be a lower bound on the latency of any
+// cross-shard interaction (for the mesh network, the minimum inject-to-eject
+// packet latency).
+//
+// Execution is deterministic and invariant under the worker count: shards
+// never share mutable state inside a window, window boundaries are derived
+// from the global minimum pending deadline (a partition-independent
+// quantity), and the flush callback runs alone between windows. A
+// ShardedEngine over one engine is the sequential reference for the same
+// windowed semantics.
+type ShardedEngine struct {
+	engines []*Engine
+	window  Time
+	flush   func(limit Time)
+
+	// Worker-pool coordination. The coordinator (the goroutine calling Run)
+	// executes runner 0's share inline; runners 1..nrun-1 are goroutines
+	// that spin-wait on the epoch counter, park on their wake channel when
+	// idle, and decrement pending when their share of a window is done.
+	nrun    int
+	runners []*shardRunner
+	started bool
+
+	windowEnd Time // published before the epoch bump, read after it
+	epoch     atomic.Uint64
+	pending   atomic.Int64
+	stopping  atomic.Bool
+}
+
+type shardRunner struct {
+	idx    int
+	wake   chan struct{}
+	parked atomic.Bool
+}
+
+// NewShardedEngine builds a window driver over engines. window is the
+// lookahead in cycles (≥ 1); flush is invoked at every window barrier with
+// the window's exclusive end time and must apply all deferred cross-shard
+// work scheduled before it. workers caps the goroutines executing shards
+// concurrently; 0 means GOMAXPROCS. Engine i is always executed by runner
+// i mod nrun, so each engine stays affine to one goroutine within a window.
+func NewShardedEngine(engines []*Engine, window Time, flush func(limit Time), workers int) *ShardedEngine {
+	if len(engines) == 0 {
+		panic("sim: sharded engine with no shards")
+	}
+	if window < 1 {
+		panic(fmt.Sprintf("sim: window width %d < 1", window))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	return &ShardedEngine{engines: engines, window: window, flush: flush, nrun: workers}
+}
+
+// Engines returns the underlying shard engines.
+func (s *ShardedEngine) Engines() []*Engine { return s.engines }
+
+// Window returns the lookahead window width in cycles.
+func (s *ShardedEngine) Window() Time { return s.window }
+
+// Processed returns the total events executed across all shards.
+func (s *ShardedEngine) Processed() uint64 {
+	var n uint64
+	for _, e := range s.engines {
+		n += e.Processed()
+	}
+	return n
+}
+
+// Run executes windows until every shard's queue drains and returns the
+// time of the last executed event.
+func (s *ShardedEngine) Run() Time { return s.run(Forever) }
+
+// RunUntil executes events with deadlines at or before limit, like
+// Engine.RunUntil, and returns the time of the last executed event.
+func (s *ShardedEngine) RunUntil(limit Time) Time { return s.run(limit) }
+
+func (s *ShardedEngine) run(limit Time) Time {
+	for {
+		// Window start: the globally earliest pending deadline. This is a
+		// property of the whole event population, so it does not depend on
+		// how nodes are split across shards.
+		start := Forever
+		for _, e := range s.engines {
+			if t, ok := e.NextEventTime(); ok && t < start {
+				start = t
+			}
+		}
+		if start == Forever || start > limit {
+			break
+		}
+		end := start + s.window
+		if limit != Forever && end > limit+1 {
+			end = limit + 1 // cap is derived from limit, not the partition
+		}
+
+		active := 0
+		for _, e := range s.engines {
+			if t, ok := e.NextEventTime(); ok && t < end {
+				active++
+			}
+		}
+		if active <= 1 || s.nrun == 1 {
+			// One busy shard (or one runner): no point waking the pool.
+			for i := range s.engines {
+				s.runEngine(i, end)
+			}
+		} else {
+			s.dispatch(end)
+		}
+		s.flush(end)
+	}
+	var last Time
+	for _, e := range s.engines {
+		if e.Now() > last {
+			last = e.Now()
+		}
+	}
+	return last
+}
+
+// runEngine executes engine i's events strictly before end.
+func (s *ShardedEngine) runEngine(i int, end Time) {
+	e := s.engines[i]
+	if t, ok := e.NextEventTime(); ok && t < end {
+		e.RunUntil(end - 1)
+	}
+}
+
+// runShare executes every engine owned by runner r for the current window.
+func (s *ShardedEngine) runShare(r int, end Time) {
+	for i := r; i < len(s.engines); i += s.nrun {
+		s.runEngine(i, end)
+	}
+}
+
+// dispatch runs one window across the worker pool and waits for the barrier.
+func (s *ShardedEngine) dispatch(end Time) {
+	if !s.started {
+		s.startWorkers()
+	}
+	s.windowEnd = end
+	s.pending.Store(int64(s.nrun - 1))
+	s.epoch.Add(1)
+	for _, r := range s.runners {
+		if r.parked.Load() {
+			select {
+			case r.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	s.runShare(0, end)
+	for s.pending.Load() > 0 {
+		runtime.Gosched()
+	}
+}
+
+func (s *ShardedEngine) startWorkers() {
+	s.runners = make([]*shardRunner, 0, s.nrun-1)
+	for i := 1; i < s.nrun; i++ {
+		r := &shardRunner{idx: i, wake: make(chan struct{}, 1)}
+		s.runners = append(s.runners, r)
+		go s.workerLoop(r)
+	}
+	s.started = true
+}
+
+// Stop shuts the worker pool down. The next Run or RunUntil restarts it, so
+// Stop is safe to call between runs; it is a no-op when no workers exist.
+func (s *ShardedEngine) Stop() {
+	if !s.started {
+		return
+	}
+	s.stopping.Store(true)
+	s.pending.Store(int64(s.nrun - 1))
+	s.epoch.Add(1)
+	for _, r := range s.runners {
+		if r.parked.Load() {
+			select {
+			case r.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	for s.pending.Load() > 0 {
+		runtime.Gosched()
+	}
+	s.stopping.Store(false)
+	s.runners = nil
+	s.started = false
+}
+
+func (s *ShardedEngine) workerLoop(r *shardRunner) {
+	var seen uint64
+	idle := 0
+	for {
+		e := s.epoch.Load()
+		if e == seen {
+			idle++
+			if idle < 256 {
+				runtime.Gosched()
+				continue
+			}
+			// Park until the coordinator wakes us. The recheck closes the
+			// race with an epoch bump between the Load above and the park
+			// flag becoming visible; a stale token in the buffered channel
+			// only causes one extra loop iteration.
+			r.parked.Store(true)
+			if s.epoch.Load() == seen {
+				<-r.wake
+			}
+			r.parked.Store(false)
+			idle = 0
+			continue
+		}
+		seen = e
+		idle = 0
+		if s.stopping.Load() {
+			s.pending.Add(-1)
+			return
+		}
+		s.runShare(r.idx, s.windowEnd)
+		s.pending.Add(-1)
+	}
+}

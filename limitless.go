@@ -133,6 +133,19 @@ type Config struct {
 	ModifyGrant bool
 	// MaxCycles aborts a run that exceeds this many cycles (0 = no bound).
 	MaxCycles int64
+	// Shards, when positive, runs the simulation on the windowed sharded
+	// engine: the mesh is split into that many contiguous node tiles, each
+	// with its own event heap, executed concurrently in conservative time
+	// windows (see DESIGN.md, "Parallel simulation"). Results are
+	// deterministic and bit-identical for every Shards >= 1 value; the
+	// default 0 keeps the sequential engine, whose same-cycle network
+	// arbitration differs, so its cycle counts form a separate
+	// deterministic baseline. Trace workloads (FromTrace/FromEvents) share
+	// replay state across processors and refuse Shards > 1.
+	Shards int
+	// ShardWorkers caps the goroutines executing shards concurrently
+	// (0 = GOMAXPROCS). It affects only wall-clock speed, never results.
+	ShardWorkers int
 	// DisableEventPool turns off the simulation engine's event recycling.
 	// Results are bit-identical either way (the pooled-determinism tests
 	// assert it); the switch exists for that cross-check and for memory
@@ -192,7 +205,7 @@ func (c Config) build() (*machine.Machine, error) {
 		contexts = 1
 	}
 	mc := machine.Config{Width: w, Height: h, Contexts: contexts, Params: params, CacheWays: c.CacheWays,
-		DisableEventPool: c.DisableEventPool}
+		DisableEventPool: c.DisableEventPool, Shards: c.Shards, ShardWorkers: c.ShardWorkers}
 	mcfg := mesh.DefaultConfig(w, h)
 	override := false
 	switch c.Topology {
@@ -316,6 +329,10 @@ func resultFrom(r machine.Result) Result {
 type Workload struct {
 	procs int
 	build func() []proc.Workload
+	// unshardable marks workloads whose per-processor programs share
+	// mutable Go-level state (the trace replayer), which the parallel
+	// sharded engine cannot execute safely.
+	unshardable bool
 }
 
 // Procs returns the processor count the workload was built for.
@@ -429,7 +446,9 @@ func FromEvents(events []trace.Event) (Workload, error) {
 	if err != nil {
 		return Workload{}, err
 	}
-	return Workload{procs: pm.Threads(), build: pm.Workloads}, nil
+	// The post-mortem scheduler's threads coordinate through shared
+	// replayer state, so this workload must stay on a single goroutine.
+	return Workload{procs: pm.Threads(), build: pm.Workloads, unshardable: true}, nil
 }
 
 // Prog is the custom-workload programming surface: continuation-passing
@@ -498,6 +517,9 @@ func finishResult(m *machine.Machine, r machine.Result) Result {
 func Run(cfg Config, wl Workload) (Result, error) {
 	if cfg.Procs == 0 {
 		cfg.Procs = wl.procs
+	}
+	if wl.unshardable && cfg.Shards > 1 {
+		return Result{}, fmt.Errorf("limitless: trace workloads share replay state across processors and require Shards <= 1 (got %d)", cfg.Shards)
 	}
 	if cfg.Procs != wl.procs {
 		return Result{}, fmt.Errorf("limitless: config has %d processors but workload was built for %d",

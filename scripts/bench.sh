@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # bench.sh — measure simulator throughput and record a trajectory point.
 #
-# Runs BenchmarkSimulatorThroughput (the 64-processor LimitLESS(4) Weather
-# run in bench_test.go) five times with allocation stats, prints the raw
-# `go test -bench` output, and writes a BENCH_<utc-timestamp>.json file in
-# the repo root summarizing the best iteration. Keeping one JSON file per
-# run builds a throughput trajectory across PRs: compare the `simcycles_s`
-# and `allocs_per_op` fields of successive files.
+# Runs BenchmarkSimulatorThroughput (the sequential 64-processor LimitLESS(4)
+# Weather run in bench_test.go) and BenchmarkShardedThroughput/shards-4 (the
+# same machine on the windowed sharded engine) five times each with
+# allocation stats, prints the raw `go test -bench` output, and writes a
+# BENCH_<utc-timestamp>.json file in the repo root summarizing the best
+# iteration of each as one trajectory point per engine. Keeping one JSON
+# file per run builds a throughput trajectory across PRs: compare the
+# `simcycles_s` and `allocs_per_op` fields of matching points in
+# successive files.
 #
 # Usage: scripts/bench.sh [extra go-test args...]
 set -euo pipefail
@@ -17,14 +20,55 @@ stamp=$(date -u +%Y%m%dT%H%M%SZ)
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-go test -run '^$' -bench=SimulatorThroughput -benchmem -count=5 "$@" . | tee "$out"
+go test -run '^$' -bench='SimulatorThroughput|ShardedThroughput/shards-4$' \
+    -benchmem -count=5 "$@" . | tee "$out"
 
-# Each benchmark line looks like:
-#   BenchmarkSimulatorThroughput-8  1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
-# Take the best (max simcycles/s) of the five iterations; allocs and bytes
-# are deterministic per run so any line's values serve.
-awk -v stamp="$stamp" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
-/^BenchmarkSimulatorThroughput/ {
+# Benchmark lines look like:
+#   BenchmarkSimulatorThroughput-8         1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
+#   BenchmarkShardedThroughput/shards-4-8  1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
+# Take the best (max simcycles/s) iteration per benchmark; allocs and bytes
+# are deterministic per run so any line's values serve. ShardWorkers is 0 in
+# bench_test.go, meaning the worker pool sizes itself to GOMAXPROCS.
+awk -v stamp="$stamp" \
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v gover="$(go env GOVERSION)" \
+    -v maxprocs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)" '
+BEGIN {
+    printf "{\n"
+    printf "  \"timestamp\": \"%s\",\n", stamp
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"gomaxprocs\": %d,\n", maxprocs + 0
+    printf "  \"points\": [\n"
+}
+function flush_point() {
+    if (name == "") return
+    shards = 0; workers = 1; engine = "sequential"
+    if (match(name, /shards-[0-9]+/)) {
+        shards = substr(name, RSTART + 7, RLENGTH - 7) + 0
+        workers = maxprocs + 0
+        engine = "windowed-sharded"
+    }
+    if (np++) printf ",\n"
+    printf "    {\n"
+    printf "      \"benchmark\": \"%s\",\n", name
+    printf "      \"engine\": \"%s\",\n", engine
+    printf "      \"shards\": %d,\n", shards
+    printf "      \"workers\": %d,\n", workers
+    printf "      \"iterations\": %d,\n", n
+    printf "      \"simcycles_s\": %.0f,\n", best
+    printf "      \"ns_per_op\": %.0f,\n", nsop
+    printf "      \"bytes_per_op\": %.0f,\n", bytes
+    printf "      \"allocs_per_op\": %.0f\n", allocs
+    printf "    }"
+    best = 0; nsop = 0; n = 0
+}
+/^Benchmark(SimulatorThroughput|ShardedThroughput)/ {
+    # Strip the trailing -GOMAXPROCS suffix Go appends when GOMAXPROCS > 1.
+    bench = $1
+    sub(/^Benchmark/, "", bench)
+    if (maxprocs + 0 > 1) sub("-" maxprocs "$", "", bench)
+    if (bench != name) { flush_point(); name = bench }
     for (i = 1; i <= NF; i++) {
         if ($i == "simcycles/s" && $(i-1) + 0 > best) best = $(i-1) + 0
         if ($i == "allocs/op") allocs = $(i-1) + 0
@@ -34,17 +78,9 @@ awk -v stamp="$stamp" -v commit="$(git rev-parse --short HEAD 2>/dev/null || ech
     n++
 }
 END {
-    if (n == 0) { print "bench.sh: no benchmark lines found" > "/dev/stderr"; exit 1 }
-    printf "{\n"
-    printf "  \"benchmark\": \"SimulatorThroughput\",\n"
-    printf "  \"timestamp\": \"%s\",\n", stamp
-    printf "  \"commit\": \"%s\",\n", commit
-    printf "  \"iterations\": %d,\n", n
-    printf "  \"simcycles_s\": %.0f,\n", best
-    printf "  \"ns_per_op\": %.0f,\n", nsop
-    printf "  \"bytes_per_op\": %.0f,\n", bytes
-    printf "  \"allocs_per_op\": %.0f\n", allocs
-    printf "}\n"
+    if (name == "") { print "bench.sh: no benchmark lines found" > "/dev/stderr"; exit 1 }
+    flush_point()
+    printf "\n  ]\n}\n"
 }' "$out" > "BENCH_${stamp}.json"
 
 echo

@@ -1,0 +1,95 @@
+package limitless_test
+
+import (
+	"testing"
+
+	limitless "limitless"
+	"limitless/internal/trace"
+)
+
+// TestShardedEquivalenceAllSchemes is the cross-engine determinism table:
+// every directory scheme at P=16 must produce bit-identical Results — cycle
+// counts and all aggregated statistics — for Shards ∈ {1, 2, 4}. Shards=1
+// is the sequential execution of the windowed semantics, so any divergence
+// at 2 or 4 shards means the parallel engine leaked nondeterminism (merge
+// order, shared state, or a lookahead bug). Run in CI under -race, where it
+// doubles as the data-race probe for the worker pool.
+func TestShardedEquivalenceAllSchemes(t *testing.T) {
+	schemes := []struct {
+		name     string
+		scheme   limitless.Scheme
+		pointers int
+	}{
+		{"FullMap", limitless.FullMap, 0},
+		{"Dir4NB", limitless.LimitedNB, 4},
+		{"Chained", limitless.Chained, 0},
+		{"SoftwareOnly", limitless.SoftwareOnly, 0},
+		{"LimitLESS4", limitless.LimitLESS, 4},
+	}
+	const procs = 16
+	for _, sc := range schemes {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(shards int) limitless.Result {
+				cfg := limitless.Config{Procs: procs, Scheme: sc.scheme, Pointers: sc.pointers,
+					TrapService: 50, Shards: shards, ShardWorkers: 4}
+				res, err := limitless.Run(cfg, limitless.Weather(procs))
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return res
+			}
+			ref := run(1)
+			if ref.Cycles == 0 || ref.Messages == 0 {
+				t.Fatalf("degenerate reference run: %+v", ref)
+			}
+			for _, shards := range []int{2, 4} {
+				if got := run(shards); got != ref {
+					t.Errorf("shards=%d diverged from the sequential engine:\n got %+v\nwant %+v",
+						shards, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedRepeatable: the same sharded configuration run twice is
+// bit-identical — the parallel engine must not import wall-clock
+// scheduling into the simulation.
+func TestShardedRepeatable(t *testing.T) {
+	cfg := limitless.Config{Procs: 16, Scheme: limitless.LimitLESS, Pointers: 4,
+		TrapService: 50, Shards: 4, ShardWorkers: 4}
+	first, err := limitless.Run(cfg, limitless.Weather(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := limitless.Run(cfg, limitless.Weather(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("two identical sharded runs diverged:\n%+v\n%+v", first, second)
+	}
+}
+
+// TestShardedRejectsTraceWorkloads: the post-mortem trace replayer shares
+// mutable scheduling state across processors, which the parallel shards
+// cannot touch concurrently; Run must refuse rather than race.
+func TestShardedRejectsTraceWorkloads(t *testing.T) {
+	events := []trace.Event{
+		{Thread: 0, Kind: trace.Load, Addr: 64, Shared: true},
+		{Thread: 1, Kind: trace.Load, Addr: 64, Shared: true},
+	}
+	wl, err := limitless.FromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := limitless.Config{Scheme: limitless.FullMap, Shards: 2}
+	if _, err := limitless.Run(cfg, wl); err == nil {
+		t.Fatal("trace workload with Shards=2 did not error")
+	}
+	cfg.Shards = 1
+	if _, err := limitless.Run(cfg, wl); err != nil {
+		t.Fatalf("trace workload with Shards=1 should run sequentially: %v", err)
+	}
+}
