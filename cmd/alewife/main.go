@@ -7,6 +7,7 @@
 //	        [-workload weather|weather-opt|multigrid|synthetic|migratory|locks|prodcons]
 //	        [-workerset 8] [-contexts 1] [-trace file] [-verify]
 //	        [-shards 0] [-shard-workers 0]
+//	        [-faults seed:key=value,...] [-watchdog cycles]
 //	        [-cpuprofile file] [-memprofile file]
 package main
 
@@ -32,6 +33,8 @@ var (
 	verifyFlag   = flag.Bool("verify", false, "run the coherence checker after the workload finishes")
 	shardsFlag   = flag.Int("shards", 0, "run on the windowed sharded engine with this many mesh tiles (0 = sequential engine)")
 	shardWFlag   = flag.Int("shard-workers", 0, "goroutines executing shards concurrently (0 = GOMAXPROCS; never changes results)")
+	faultsFlag   = flag.String("faults", "", "deterministic fault injection, \"seed:key=value,...\" (keys: delay, delaymax, dup, dupdelay, stall, stallperiod, stallcycles, trap, trapextra)")
+	watchdogFlag = flag.Int64("watchdog", 0, "halt with a diagnostic dump after this many cycles without forward progress (0 = off)")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfFlag  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 )
@@ -39,15 +42,29 @@ var (
 func main() {
 	flag.Parse()
 
+	if *traceFlag != "" && *shardsFlag > 1 {
+		fmt.Fprintf(os.Stderr,
+			"alewife: -trace and -shards %d cannot be combined: trace replay shares one event cursor across all processors, which the parallel sharded engine would race on; drop -shards or use a generated -workload\n",
+			*shardsFlag)
+		os.Exit(2)
+	}
+	faultSpec, err := limitless.NormalizeFaults(*faultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alewife: -faults:", err)
+		os.Exit(2)
+	}
+
 	cfg := limitless.Config{
-		Procs:        *procsFlag,
-		Scheme:       limitless.Scheme(*schemeFlag),
-		Pointers:     *pointersFlag,
-		TrapService:  *tsFlag,
-		Contexts:     *ctxFlag,
-		Verify:       *verifyFlag,
-		Shards:       *shardsFlag,
-		ShardWorkers: *shardWFlag,
+		Procs:          *procsFlag,
+		Scheme:         limitless.Scheme(*schemeFlag),
+		Pointers:       *pointersFlag,
+		TrapService:    *tsFlag,
+		Contexts:       *ctxFlag,
+		Verify:         *verifyFlag,
+		Shards:         *shardsFlag,
+		ShardWorkers:   *shardWFlag,
+		Faults:         *faultsFlag,
+		WatchdogCycles: *watchdogFlag,
 	}
 
 	var wl limitless.Workload
@@ -133,6 +150,12 @@ func main() {
 	if cfg.Shards > 0 {
 		fmt.Printf("engine:    windowed sharded, %d shards\n", cfg.Shards)
 	}
+	if faultSpec != "" {
+		fmt.Printf("faults:    %s\n", faultSpec)
+	}
+	if cfg.WatchdogCycles > 0 {
+		fmt.Printf("watchdog:  %d cycles without progress halts the run\n", cfg.WatchdogCycles)
+	}
 	fmt.Printf("cycles:    %d (%.3f Mcycles)\n", res.Cycles, float64(res.Cycles)/1e6)
 	fmt.Printf("T_h:       %.1f cycles average remote access latency\n", res.AvgRemoteLatency)
 	fmt.Printf("hit rate:  %.3f\n", res.HitRate)
@@ -144,6 +167,10 @@ func main() {
 	fmt.Printf("network:   %.1f cycles average packet latency\n", res.NetworkAvgLatency)
 	if res.ContextSwitches > 0 {
 		fmt.Printf("switches:  %d context switches\n", res.ContextSwitches)
+	}
+	if res.DupSuppressed > 0 || res.Violations > 0 {
+		fmt.Printf("faulting:  %d duplicates suppressed, %d protocol violations recorded\n",
+			res.DupSuppressed, res.Violations)
 	}
 }
 

@@ -1,0 +1,74 @@
+package check
+
+import (
+	"testing"
+
+	"limitless/internal/coherence"
+)
+
+// chaosSchemes is the fault-injection matrix of the robustness suite:
+// every centralized scheme at 16 processors.
+func chaosSchemes() []struct {
+	name     string
+	scheme   coherence.Scheme
+	pointers int
+} {
+	return []struct {
+		name     string
+		scheme   coherence.Scheme
+		pointers int
+	}{
+		{"full-map", coherence.FullMap, 0},
+		{"limited-4", coherence.LimitedNB, 4},
+		{"limitless-4", coherence.LimitLESS, 4},
+		{"software-only", coherence.SoftwareOnly, 1},
+		{"chained", coherence.Chained, 1},
+	}
+}
+
+func TestChaosMatrix(t *testing.T) {
+	for _, tc := range chaosSchemes() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultChaos(tc.scheme, tc.pointers)
+			if testing.Short() {
+				cfg.Seeds = 2
+			}
+			rep := Chaos(cfg)
+			if !rep.Ok() {
+				for i, v := range rep.Violations {
+					if i == 10 {
+						t.Errorf("... and %d more", len(rep.Violations)-i)
+						break
+					}
+					t.Error(v)
+				}
+			}
+			if rep.Ops == 0 {
+				t.Error("chaos harness recorded no operations")
+			}
+		})
+	}
+}
+
+// TestChaosSharded runs the matrix's default scheme on the windowed
+// engine: the same fault plans must be survivable under sharded execution
+// (the watchdog and recorder plumbing cross the barrier machinery there).
+func TestChaosSharded(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := DefaultChaos(coherence.LimitLESS, 4)
+		cfg.Shards = shards
+		cfg.Seeds = 2
+		rep := Chaos(cfg)
+		if !rep.Ok() {
+			for i, v := range rep.Violations {
+				if i == 10 {
+					t.Errorf("shards=%d: ... and %d more", shards, len(rep.Violations)-i)
+					break
+				}
+				t.Errorf("shards=%d: %s", shards, v)
+			}
+		}
+	}
+}

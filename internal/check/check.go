@@ -11,9 +11,16 @@ import (
 	"limitless/internal/cache"
 	"limitless/internal/coherence"
 	"limitless/internal/directory"
+	"limitless/internal/fault"
 	"limitless/internal/machine"
 	"limitless/internal/mesh"
 )
+
+// Violation is the structured protocol-violation record produced by the
+// hardened controllers. It lives in the fault package (the controllers
+// cannot import this one); the alias makes check the natural vocabulary
+// for test code that consumes both observers and recorded violations.
+type Violation = fault.Violation
 
 // Observer validates per-location ordering as operations commit.
 //

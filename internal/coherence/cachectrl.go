@@ -2,9 +2,11 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"limitless/internal/cache"
 	"limitless/internal/directory"
+	"limitless/internal/fault"
 	"limitless/internal/mesh"
 	"limitless/internal/sim"
 )
@@ -102,6 +104,9 @@ type txn struct {
 	msg    *Msg
 	issued sim.Time
 	queued []Request
+	// retries counts consecutive BUSY responses; it drives the bounded
+	// exponential backoff when Timing.RetryBackoffMax is set.
+	retries int
 }
 
 // CacheController is the cache side of one node: it satisfies processor
@@ -131,6 +136,7 @@ type CacheController struct {
 
 	stats Stats
 	miss  MissStats
+	rec   *fault.Recorder
 
 	// Closure-free dispatch: sendH re-sends a transaction's request message
 	// (initial issue and BUSY retries), compH delivers pooled completion
@@ -200,6 +206,52 @@ func (cc *CacheController) Misses() MissStats { return cc.miss }
 
 // Outstanding reports the number of in-flight miss transactions.
 func (cc *CacheController) Outstanding() int { return len(cc.txns) }
+
+// SetRecorder installs a violation recorder. With a recorder present,
+// protocol-impossible messages are recorded and dropped instead of
+// panicking, so a fault-injected or wedged run can terminate with a
+// diagnostic rather than a crash.
+func (cc *CacheController) SetRecorder(r *fault.Recorder) { cc.rec = r }
+
+// OutstandingOp describes one in-flight miss transaction for diagnostics.
+type OutstandingOp struct {
+	Addr    directory.Addr
+	Type    MsgType
+	Issued  sim.Time
+	Retries int
+}
+
+// OutstandingOps returns the in-flight transactions sorted by address, for
+// watchdog diagnostic dumps.
+func (cc *CacheController) OutstandingOps() []OutstandingOp {
+	if len(cc.txns) == 0 {
+		return nil
+	}
+	ops := make([]OutstandingOp, 0, len(cc.txns))
+	for addr, t := range cc.txns {
+		ops = append(ops, OutstandingOp{Addr: addr, Type: t.msg.Type, Issued: t.issued, Retries: t.retries})
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Addr < ops[j].Addr })
+	return ops
+}
+
+// protocolBug records a cache-side dispatch violation when a recorder is
+// installed (the message is then dropped by the caller); otherwise it
+// preserves the original panic.
+func (cc *CacheController) protocolBug(context string, src mesh.NodeID, m *Msg) {
+	if cc.rec != nil {
+		cc.rec.Record(fault.Violation{
+			Cycle: cc.eng.Now(),
+			Node:  int(cc.id),
+			Kind:  "cachectrl-dispatch",
+			State: context,
+			Msg:   fmt.Sprintf("unexpected %v from %d (addr %#x)", m.Type, src, m.Addr),
+		})
+		return
+	}
+	panic(fmt.Sprintf("coherence: node %d cache [%s] got unexpected %v from %d (addr %#x)",
+		cc.id, context, m.Type, src, m.Addr))
+}
 
 func (cc *CacheController) send(dst mesh.NodeID, m *Msg) {
 	cc.stats.Sent[m.Type]++
@@ -353,11 +405,21 @@ func (cc *CacheController) fill(addr directory.Addr, st cache.LineState, value u
 // HandleMem processes a memory-to-cache protocol message.
 func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 	cc.stats.Received[m.Type]++
+	// Fault-injected re-deliveries never re-run the cache-side protocol
+	// engine: the original delivery already advanced the transaction, so a
+	// duplicate RDATA/INV/BUSY would corrupt MSHR and chain state. The
+	// memory side answers duplicates idempotently; the cache side just
+	// absorbs them.
+	if m.Dup {
+		cc.stats.DupSuppressed++
+		return
+	}
 	switch m.Type {
 	case RDATA:
 		t := cc.txns[m.Addr]
 		if t == nil || t.msg.Type != RREQ {
-			panic(fmt.Sprintf("coherence: node %d got RDATA %#x without read transaction", cc.id, m.Addr))
+			cc.protocolBug("no-read-txn", src, m)
+			return
 		}
 		cc.fill(m.Addr, cache.ReadOnly, m.Value)
 		if cc.params.Scheme == Chained && m.Next != ChainResupply {
@@ -370,7 +432,8 @@ func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 	case WDATA:
 		t := cc.txns[m.Addr]
 		if t == nil || t.msg.Type != WREQ {
-			panic(fmt.Sprintf("coherence: node %d got WDATA %#x without write transaction", cc.id, m.Addr))
+			cc.protocolBug("no-write-txn", src, m)
+			return
 		}
 		if cc.params.Scheme == Chained {
 			// Becoming owner dissolves any list position this cache held
@@ -393,7 +456,8 @@ func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 	case MODG:
 		t := cc.txns[m.Addr]
 		if t == nil || t.msg.Type != WREQ {
-			panic(fmt.Sprintf("coherence: node %d got MODG %#x without write transaction", cc.id, m.Addr))
+			cc.protocolBug("no-write-txn", src, m)
+			return
 		}
 		old, ok := cc.cache.Peek(m.Addr)
 		if !ok {
@@ -427,13 +491,24 @@ func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 	case BUSY:
 		t := cc.txns[m.Addr]
 		if t == nil {
-			panic(fmt.Sprintf("coherence: node %d got BUSY %#x without transaction", cc.id, m.Addr))
+			cc.protocolBug("no-txn", src, m)
+			return
 		}
 		cc.stats.Retries++
+		t.retries++
 		// The transaction could complete before the retry fires only if a
 		// response overtook the BUSY; with in-order delivery it cannot, so
 		// the entry is still live when sendH runs.
-		cc.eng.AfterHandler(cc.params.Timing.RetryBackoff, &cc.sendH, t)
+		backoff := cc.params.Timing.RetryBackoff
+		if max := cc.params.Timing.RetryBackoffMax; max > 0 {
+			for i := 1; i < t.retries && backoff < max; i++ {
+				backoff <<= 1
+			}
+			if backoff > max {
+				backoff = max
+			}
+		}
+		cc.eng.AfterHandler(backoff, &cc.sendH, t)
 
 	case CINV:
 		cc.cache.Invalidate(m.Addr)
@@ -462,7 +537,8 @@ func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 	case UACK:
 		t := cc.txns[m.Addr]
 		if t == nil {
-			panic(fmt.Sprintf("coherence: node %d got UACK %#x without transaction", cc.id, m.Addr))
+			cc.protocolBug("no-txn", src, m)
+			return
 		}
 		result := t.req.Value
 		if t.req.Modify != nil {
@@ -480,6 +556,6 @@ func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 		cc.cache.Update(m.Addr, m.Value)
 
 	default:
-		panic(fmt.Sprintf("coherence: node %d cache got unexpected %v from %d", cc.id, m.Type, src))
+		cc.protocolBug("dispatch", src, m)
 	}
 }

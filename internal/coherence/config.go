@@ -77,6 +77,13 @@ type Timing struct {
 	// RetryBackoff is how long a cache waits after a BUSY before
 	// re-sending its request.
 	RetryBackoff sim.Time
+	// RetryBackoffMax, when positive, makes the BUSY backoff escalate: the
+	// wait doubles with each consecutive BUSY on the same transaction, up
+	// to this cap. Zero keeps the fixed RetryBackoff (the paper's model).
+	// Fault-injected stall windows turn fixed-interval retries into BUSY
+	// storms; bounded exponential backoff keeps them from saturating the
+	// home controller while still guaranteeing deterministic retry times.
+	RetryBackoffMax sim.Time
 	// TrapEntry is the time from controller interrupt to the first
 	// instruction of the trap handler (5–10 cycles on SPARCLE, Section 4.1).
 	TrapEntry sim.Time
@@ -129,6 +136,9 @@ type Stats struct {
 	SWHandled uint64
 	// Deferred counts packets queued behind a Trans-In-Progress interlock.
 	Deferred uint64
+	// DupSuppressed counts fault-injected duplicate deliveries absorbed by
+	// the controllers instead of re-running the protocol engine.
+	DupSuppressed uint64
 }
 
 // Add accumulates other into s.
@@ -147,6 +157,7 @@ func (s *Stats) Add(other *Stats) {
 	s.ReadTxns += other.ReadTxns
 	s.SWHandled += other.SWHandled
 	s.Deferred += other.Deferred
+	s.DupSuppressed += other.DupSuppressed
 }
 
 // TotalSent returns the number of protocol messages injected.

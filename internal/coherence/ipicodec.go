@@ -16,6 +16,7 @@ import (
 const (
 	flagEvict   = 1 << 0
 	flagHasNext = 1 << 1
+	flagDup     = 1 << 2
 )
 
 // EncodeIPI packs a protocol message into an IPI packet for the input queue.
@@ -23,6 +24,9 @@ func EncodeIPI(src mesh.NodeID, m *Msg) *ipi.Packet {
 	flags := uint64(0)
 	if m.Evict {
 		flags |= flagEvict
+	}
+	if m.Dup {
+		flags |= flagDup
 	}
 	if m.Next >= 0 {
 		flags |= flagHasNext
@@ -54,6 +58,7 @@ func DecodeIPI(p *ipi.Packet) (src mesh.NodeID, m *Msg) {
 	}
 	flags := p.Operand(1)
 	m.Evict = flags&flagEvict != 0
+	m.Dup = flags&flagDup != 0
 	if flags&flagHasNext != 0 {
 		m.Next = mesh.NodeID(flags >> 8)
 	}

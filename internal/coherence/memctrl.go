@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"limitless/internal/directory"
+	"limitless/internal/fault"
 	"limitless/internal/ipi"
 	"limitless/internal/mesh"
 	"limitless/internal/sim"
@@ -104,6 +105,7 @@ type MemoryController struct {
 	ipiq  *ipi.Queue
 	sink  TrapSink
 	stats Stats
+	rec   *fault.Recorder
 
 	// deferred holds non-retriable packets (REPM/UPDATE/ACKC) that arrived
 	// while the block's meta state was Trans-In-Progress. Drained slices
@@ -182,6 +184,12 @@ func (mc *MemoryController) IPIQueue() *ipi.Queue { return mc.ipiq }
 // Stats returns a copy of the controller's counters.
 func (mc *MemoryController) Stats() Stats { return mc.stats }
 
+// SetRecorder installs a violation recorder. With a recorder present,
+// protocol violations on the message-dispatch paths are recorded and the
+// offending message dropped; without one they panic (a protocol bug in a
+// deterministic fault-free simulation must fail loudly).
+func (mc *MemoryController) SetRecorder(r *fault.Recorder) { mc.rec = r }
+
 // entry fetches (or creates) the directory entry for addr, applying the
 // scheme's default meta state to fresh entries.
 func (mc *MemoryController) entry(addr directory.Addr) *directory.Entry {
@@ -240,6 +248,22 @@ func (mc *MemoryController) Handle(src mesh.NodeID, m *Msg) {
 func (mc *MemoryController) process(src mesh.NodeID, m *Msg) {
 	mc.stats.Received[m.Type]++
 	e := mc.entry(m.Addr)
+
+	// Fault-injected re-deliveries are suppressed before they can reach the
+	// meta-state filter: a duplicate must never trap, defer, or bounce BUSY,
+	// and above all must never re-run a transition. The only duplicate that
+	// earns a reply is a re-delivered RREQ against a stable Read-Only entry
+	// whose pointer set already records the requester — answering it with an
+	// idempotent RDATA echo is safe (the reader holds the copy the directory
+	// thinks it holds) and models a real controller's retransmission path.
+	if m.Dup {
+		mc.stats.DupSuppressed++
+		if m.Type == RREQ && e.State == directory.ReadOnly && e.Meta == directory.Normal &&
+			mc.params.Scheme != Chained && (e.Ptrs.Contains(src) || (e.Local && src == mc.id)) {
+			mc.Send(src, &Msg{Type: RDATA, Addr: m.Addr, Value: e.Value, Next: -1, Dup: true})
+		}
+		return
+	}
 
 	// Eviction acknowledgments are absorbed without touching transaction
 	// state, whatever the entry is doing now.
@@ -395,6 +419,16 @@ func (mc *MemoryController) hardware(src mesh.NodeID, m *Msg, e *directory.Entry
 }
 
 func (mc *MemoryController) protocolBug(state string, src mesh.NodeID, m *Msg) {
+	if mc.rec != nil {
+		mc.rec.Record(fault.Violation{
+			Cycle: mc.eng.Now(),
+			Node:  int(mc.id),
+			Kind:  "memctrl-dispatch",
+			State: state,
+			Msg:   fmt.Sprintf("unexpected %v from %d (addr %#x)", m.Type, src, m.Addr),
+		})
+		return
+	}
 	panic(fmt.Sprintf("coherence: node %d dir %s received unexpected %v from %d (addr %#x)",
 		mc.id, state, m.Type, src, m.Addr))
 }
@@ -493,7 +527,12 @@ func (mc *MemoryController) inReadOnly(src mesh.NodeID, m *Msg, e *directory.Ent
 
 // inReadWrite implements transitions 4-6 of Table 2.
 func (mc *MemoryController) inReadWrite(src mesh.NodeID, m *Msg, e *directory.Entry) {
-	owner := mc.owner(e)
+	owner, ok := mc.owner(e)
+	if !ok {
+		// Recorded pointer-set violation: the message cannot be dispatched
+		// against a corrupt entry; drop it.
+		return
+	}
 	switch m.Type {
 	case RREQ:
 		// Transition 5: P = {j}, INV → owner, await UPDATE.
@@ -502,6 +541,7 @@ func (mc *MemoryController) inReadWrite(src mesh.NodeID, m *Msg, e *directory.En
 			// cannot be serviced until its REPM arrives. Unreachable with
 			// in-order point-to-point delivery.
 			mc.protocolBug("Read-Write(owner-RREQ)", src, m)
+			return
 		}
 		mc.stats.ReadTxns++
 		e.State = directory.ReadTransaction
@@ -530,6 +570,7 @@ func (mc *MemoryController) inReadWrite(src mesh.NodeID, m *Msg, e *directory.En
 		// uncached Read-Only.
 		if src != owner {
 			mc.protocolBug("Read-Write(foreign-REPM)", src, m)
+			return
 		}
 		e.Value = m.Value
 		mc.clearSharers(e)
@@ -573,7 +614,10 @@ func (mc *MemoryController) finishReadTransaction(e *directory.Entry, addr direc
 	if store {
 		e.Value = value
 	}
-	reader := mc.owner(e) // sole pointer = waiting reader
+	reader, ok := mc.owner(e) // sole pointer = waiting reader
+	if !ok {
+		return
+	}
 	e.State = directory.ReadOnly
 	if mc.params.Scheme == Chained {
 		e.Chain = 1
@@ -594,10 +638,11 @@ func (mc *MemoryController) inWriteTransaction(src mesh.NodeID, m *Msg, e *direc
 		e.Value = m.Value
 
 	case ACKC: // Transition 7/8: count acknowledgments.
-		e.AckCtr--
-		if e.AckCtr < 0 {
+		if e.AckCtr <= 0 {
 			mc.protocolBug("Write-Transaction(ack-underflow)", src, m)
+			return
 		}
+		e.AckCtr--
 		if e.AckCtr == 0 {
 			mc.finishWriteTransaction(e, m.Addr)
 		}
@@ -605,11 +650,12 @@ func (mc *MemoryController) inWriteTransaction(src mesh.NodeID, m *Msg, e *direc
 	case UPDATE:
 		// Transition 8: the owner returned its dirty data in response to
 		// the invalidation; counts as the acknowledgment.
+		if e.AckCtr <= 0 {
+			mc.protocolBug("Write-Transaction(update-underflow)", src, m)
+			return
+		}
 		e.Value = m.Value
 		e.AckCtr--
-		if e.AckCtr < 0 {
-			mc.protocolBug("Write-Transaction(update-underflow)", src, m)
-		}
 		if e.AckCtr == 0 {
 			mc.finishWriteTransaction(e, m.Addr)
 		}
@@ -620,7 +666,10 @@ func (mc *MemoryController) inWriteTransaction(src mesh.NodeID, m *Msg, e *direc
 }
 
 func (mc *MemoryController) finishWriteTransaction(e *directory.Entry, addr directory.Addr) {
-	writer := mc.owner(e)
+	writer, ok := mc.owner(e)
+	if !ok {
+		return
+	}
 	e.State = directory.ReadWrite
 	// Reading the block out of memory for the WDATA reply costs a memory
 	// access on top of the message that completed the transaction.
@@ -629,14 +678,26 @@ func (mc *MemoryController) finishWriteTransaction(e *directory.Entry, addr dire
 }
 
 // owner returns the single expected member of the pointer set during
-// Read-Write and transaction states.
-func (mc *MemoryController) owner(e *directory.Entry) mesh.NodeID {
+// Read-Write and transaction states. ok is false when the pointer set is
+// malformed and a recorder absorbed the violation; callers must then drop
+// the operation they were about to dispatch.
+func (mc *MemoryController) owner(e *directory.Entry) (_ mesh.NodeID, ok bool) {
 	nodes := mc.sharers(e)
 	if len(nodes) != 1 {
+		if mc.rec != nil {
+			mc.rec.Record(fault.Violation{
+				Cycle: mc.eng.Now(),
+				Node:  int(mc.id),
+				Kind:  "memctrl-pointers",
+				State: e.State.String(),
+				Msg:   fmt.Sprintf("expected a single pointer, have %v", nodes),
+			})
+			return -1, false
+		}
 		panic(fmt.Sprintf("coherence: node %d expected a single pointer, have %v (state %v)",
 			mc.id, nodes, e.State))
 	}
-	return nodes[0]
+	return nodes[0], true
 }
 
 // overflow handles an RREQ that found the hardware pointer array full: the

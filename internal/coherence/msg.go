@@ -166,6 +166,11 @@ type Msg struct {
 	// rather than as part of a write transaction. The acknowledgment for
 	// an eviction is absorbed without touching an AckCtr.
 	Evict bool
+	// Dup marks a message as a re-delivery injected by the fault plan (or
+	// the idempotent echo a duplicate provoked). Controllers suppress
+	// duplicates instead of running them through the protocol engine; the
+	// flag is what lets them tell a re-delivery from the original.
+	Dup bool
 	// Modify, on an UWREQ, asks the home controller to apply an atomic
 	// read-modify-write; the UACK then carries the old value. (The
 	// simulator passes the closure in-process; a real machine would

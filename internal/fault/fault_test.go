@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"testing"
+
+	"limitless/internal/sim"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"7:",
+		"1:delay=0.01,delaymax=16",
+		"42:delay=0.25,delaymax=32,dup=0.1,dupdelay=8,stall=0.02,stallcycles=64,stallperiod=1024,trap=0.3,trapextra=100",
+	}
+	for _, s := range specs {
+		c, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		canon := c.String()
+		c2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(String(%q)=%q): %v", s, canon, err)
+		}
+		if c2.withDefaults() != c.withDefaults() {
+			t.Fatalf("round trip of %q: %+v != %+v", s, c2, c)
+		}
+	}
+}
+
+func TestParseDefaultsApplied(t *testing.T) {
+	c, err := Parse("5:delay=0.1,dup=0.1,stall=0.1,trap=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(c)
+	if p == nil {
+		t.Fatal("active plan came back nil")
+	}
+	got := p.Config()
+	if got.DelayMax != DefaultDelayMax || got.DupDelay != DefaultDupDelay ||
+		got.StallPeriod != DefaultStallPeriod || got.StallCycles != DefaultStallCycles ||
+		got.TrapExtra != DefaultTrapExtra {
+		t.Fatalf("magnitude defaults not applied: %+v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "nocolon", "x:delay=0.1", "1:delay", "1:delay=2", "1:delay=-0.5", "1:bogus=1", "1:delaymax=-3"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestZeroRatePlanIsNil(t *testing.T) {
+	if p := New(Config{Seed: 9}); p != nil {
+		t.Fatal("zero-rate config should produce a nil plan")
+	}
+	c, err := Parse("9:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := New(c); p != nil {
+		t.Fatal("parsed zero-rate spec should produce a nil plan")
+	}
+}
+
+func TestDecisionsDeterministicAndBounded(t *testing.T) {
+	c := Config{Seed: 1234, DelayRate: 0.3, DelayMax: 10, DupRate: 0.3, DupDelay: 6,
+		StallRate: 0.5, StallPeriod: 100, StallCycles: 20, TrapRate: 0.4, TrapExtra: 33}
+	a, b := New(c), New(c)
+	delayed, dups, stalls, traps := 0, 0, 0, 0
+	for now := sim.Time(0); now < 5000; now++ {
+		src, dst := int(now)%7, int(now)%5
+		d1, d2 := a.PacketDelay(now, src, dst), b.PacketDelay(now, src, dst)
+		if d1 != d2 {
+			t.Fatalf("PacketDelay not deterministic at %d", now)
+		}
+		if d1 < 0 || (d1 > 0 && d1 > c.DelayMax) {
+			t.Fatalf("PacketDelay %d outside [0,%d]", d1, c.DelayMax)
+		}
+		if d1 > 0 {
+			delayed++
+		}
+		e1, ok1 := a.Duplicate(now, src, dst, uint64(now)*3)
+		e2, ok2 := b.Duplicate(now, src, dst, uint64(now)*3)
+		if e1 != e2 || ok1 != ok2 {
+			t.Fatalf("Duplicate not deterministic at %d", now)
+		}
+		if ok1 {
+			dups++
+			if e1 < 1 || e1 > c.DupDelay {
+				t.Fatalf("Duplicate delay %d outside [1,%d]", e1, c.DupDelay)
+			}
+		}
+		s1, s2 := a.StallDelay(now, dst), b.StallDelay(now, dst)
+		if s1 != s2 {
+			t.Fatalf("StallDelay not deterministic at %d", now)
+		}
+		if s1 < 0 || s1 > c.StallCycles {
+			t.Fatalf("StallDelay %d outside [0,%d]", s1, c.StallCycles)
+		}
+		if s1 > 0 {
+			stalls++
+		}
+		x1, x2 := a.TrapSlowdown(now, dst), b.TrapSlowdown(now, dst)
+		if x1 != x2 {
+			t.Fatalf("TrapSlowdown not deterministic at %d", now)
+		}
+		if x1 != 0 && x1 != c.TrapExtra {
+			t.Fatalf("TrapSlowdown %d is neither 0 nor %d", x1, c.TrapExtra)
+		}
+		if x1 > 0 {
+			traps++
+		}
+	}
+	// With these rates over 5000 trials every class must have fired; a dead
+	// class means the thresholds or the hash are broken.
+	if delayed == 0 || dups == 0 || stalls == 0 || traps == 0 {
+		t.Fatalf("some fault class never fired: delay=%d dup=%d stall=%d trap=%d", delayed, dups, stalls, traps)
+	}
+}
+
+func TestStallWindowShape(t *testing.T) {
+	c := Config{Seed: 77, StallRate: 1, StallPeriod: 100, StallCycles: 10}
+	p := New(c)
+	// Rate 1: every (node, epoch) is stalled for the first StallCycles of
+	// the epoch, and the delay counts down to the window's end.
+	if got := p.StallDelay(0, 3); got != 10 {
+		t.Fatalf("StallDelay at epoch start = %d, want 10", got)
+	}
+	if got := p.StallDelay(9, 3); got != 1 {
+		t.Fatalf("StallDelay at last stalled cycle = %d, want 1", got)
+	}
+	if got := p.StallDelay(10, 3); got != 0 {
+		t.Fatalf("StallDelay after window = %d, want 0", got)
+	}
+	if got := p.StallDelay(205, 3); got != 5 {
+		t.Fatalf("StallDelay mid-window next epoch = %d, want 5", got)
+	}
+}
+
+func TestRecorderDeterministicOrder(t *testing.T) {
+	var r Recorder
+	r.Record(Violation{Cycle: 9, Node: 2, Kind: "b", Msg: "late"})
+	r.Record(Violation{Cycle: 3, Node: 5, Kind: "a", Msg: "early"})
+	r.Record(Violation{Cycle: 3, Node: 1, Kind: "a", Msg: "earlier node"})
+	vs := r.Violations()
+	if len(vs) != 3 || r.Len() != 3 {
+		t.Fatalf("got %d violations", len(vs))
+	}
+	if vs[0].Node != 1 || vs[1].Node != 5 || vs[2].Cycle != 9 {
+		t.Fatalf("violations not sorted: %v", vs)
+	}
+}

@@ -71,6 +71,7 @@ type Queue struct {
 	spill    []*Packet // overflow into the network receive queue
 	overflow uint64    // times a push spilled
 	pushes   uint64
+	maxLen   int // high-water mark of queued packets
 }
 
 // NewQueue returns a queue whose dedicated buffer holds capacity packets.
@@ -88,11 +89,20 @@ func (q *Queue) Push(p *Packet) (spilled bool) {
 	q.pushes++
 	if len(q.fast) < q.cap && len(q.spill) == 0 {
 		q.fast = append(q.fast, p)
+		q.note()
 		return false
 	}
 	q.spill = append(q.spill, p)
 	q.overflow++
+	q.note()
 	return true
+}
+
+// note records the current depth into the high-water mark.
+func (q *Queue) note() {
+	if n := q.Len(); n > q.maxLen {
+		q.maxLen = n
+	}
 }
 
 // Pop removes and returns the packet at the head of the queue, refilling
@@ -128,3 +138,8 @@ func (q *Queue) Overflows() uint64 { return q.overflow }
 
 // Pushes returns the total number of packets ever enqueued.
 func (q *Queue) Pushes() uint64 { return q.pushes }
+
+// MaxLen returns the deepest the queue has ever been — a diagnostic for
+// watchdog dumps (a wedged software handler shows up as a high-water IPI
+// queue that never drains).
+func (q *Queue) MaxLen() int { return q.maxLen }

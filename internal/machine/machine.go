@@ -10,6 +10,7 @@ import (
 	"limitless/internal/cache"
 	"limitless/internal/coherence"
 	"limitless/internal/directory"
+	"limitless/internal/fault"
 	"limitless/internal/mesh"
 	"limitless/internal/proc"
 	"limitless/internal/sim"
@@ -59,6 +60,19 @@ type Config struct {
 	// ShardWorkers caps the goroutines executing shards concurrently
 	// (0 = GOMAXPROCS). It affects only wall-clock speed, never results.
 	ShardWorkers int
+	// Faults, when non-nil, injects the plan's deterministic faults —
+	// packet delays, link stall windows, duplicate deliveries, trap
+	// slowdowns — throughout the machine. Runs with a fault plan install a
+	// violation recorder, so protocol-impossible messages are recorded
+	// instead of panicking, and enable bounded exponential retry backoff
+	// (RetryBackoffMax defaults to 256 when unset) so stall windows do not
+	// become BUSY storms.
+	Faults *fault.Plan
+	// Watchdog, when positive, is the no-progress budget in cycles: if
+	// events keep firing for that long with no memory operation committing
+	// and no software handler finishing, the run halts with a structured
+	// Diagnostic instead of spinning forever.
+	Watchdog sim.Time
 }
 
 // DefaultConfig returns the paper's evaluation machine: 64 processors,
@@ -99,6 +113,9 @@ type Machine struct {
 	ports     []*mesh.ShardPort
 	nodeShard []int
 	sharded   *sim.ShardedEngine
+
+	rec  *fault.Recorder
+	diag *Diagnostic
 }
 
 // New builds a machine. Processors have no workloads yet; bind them with
@@ -125,14 +142,21 @@ func New(cfg Config) *Machine {
 	if cfg.Shards > n {
 		cfg.Shards = n
 	}
+	if cfg.Faults != nil && cfg.Params.Timing.RetryBackoffMax == 0 {
+		cfg.Params.Timing.RetryBackoffMax = 256
+	}
 
 	mcfg := mesh.DefaultConfig(cfg.Width, cfg.Height)
 	if cfg.Mesh != nil {
 		mcfg = *cfg.Mesh
 		mcfg.Width, mcfg.Height = cfg.Width, cfg.Height
 	}
+	mcfg.Faults = cfg.Faults
 
 	m := &Machine{cfg: cfg}
+	if cfg.Faults != nil || cfg.Watchdog > 0 {
+		m.rec = &fault.Recorder{}
+	}
 	if k := cfg.Shards; k > 0 {
 		m.engines = make([]*sim.Engine, k)
 		for i := range m.engines {
@@ -182,6 +206,11 @@ func (m *Machine) buildNode(id mesh.NodeID) *Node {
 	mc := coherence.NewMemoryController(eng, port, id, cfg.Params, p)
 
 	node := &Node{ID: id, Cache: c, CC: cc, MC: mc, Proc: p}
+	if m.rec != nil {
+		mc.SetRecorder(m.rec)
+		cc.SetRecorder(m.rec)
+	}
+	p.SetFaultPlan(cfg.Faults)
 
 	// Default trap handler by scheme. Every node gets a mux so extensions
 	// can bind special handlers even on hardware-only schemes (profiling).
@@ -199,6 +228,26 @@ func (m *Machine) buildNode(id mesh.NodeID) *Node {
 		msg, ok := pkt.Payload.(*coherence.Msg)
 		if !ok {
 			panic(fmt.Sprintf("machine: node %d received non-protocol payload %T", id, pkt.Payload))
+		}
+		// Duplicate injection happens at ingress, on the destination node's
+		// own engine: the decision hashes (delivery cycle, src, dst, block),
+		// all of which are identical across shard partitions, and the
+		// re-delivery only touches this node's controllers, so the injection
+		// is invariant under Shards.
+		if f := cfg.Faults; f != nil && !msg.Dup {
+			if extra, dup := f.Duplicate(eng.Now(), int(pkt.Src), int(id),
+				uint64(msg.Addr)^uint64(msg.Type)); dup {
+				clone := *msg
+				clone.Dup = true
+				src := pkt.Src
+				eng.At(eng.Now()+extra, func() {
+					if clone.Type.ToMemory() {
+						mc.Handle(src, &clone)
+					} else {
+						cc.HandleMem(src, &clone)
+					}
+				})
+			}
 		}
 		if msg.Type.ToMemory() {
 			mc.Handle(pkt.Src, msg)
@@ -281,6 +330,16 @@ func (m *Machine) WorkerSetCensus() *stats.Histogram {
 	return &h
 }
 
+// Recorder returns the machine's violation recorder, or nil when neither a
+// fault plan nor a watchdog is configured.
+func (m *Machine) Recorder() *fault.Recorder { return m.rec }
+
+// Diagnostic returns the failure dump of the last run, or nil when the run
+// completed (or has not happened yet). A non-nil diagnostic means the
+// machine halted without finishing its workloads — watchdog trip or drained
+// event queue with processors still blocked.
+func (m *Machine) Diagnostic() *Diagnostic { return m.diag }
+
 // Result summarizes a run.
 type Result struct {
 	// Cycles is the total execution time — the paper's bottom-line metric.
@@ -297,40 +356,47 @@ type Result struct {
 	Proc proc.Stats
 	// SW sums software-handler counters across nodes.
 	SW swdir.Stats
+	// Violations counts recorded protocol violations (zero on a healthy
+	// run; nonzero means the hardening layer absorbed protocol-impossible
+	// messages instead of crashing).
+	Violations uint64
 }
 
 // AvgRemoteLatency returns measured T_h.
 func (r Result) AvgRemoteLatency() float64 { return r.Misses.AvgRemoteLatency() }
 
-// Run starts every processor and drives the simulation until all
-// workloads finish. It panics on deadlock (event queue drained with
-// processors still blocked) — in a deterministic simulator that is always
-// a protocol bug, and hiding it would corrupt experiments.
-func (m *Machine) Run() Result {
+// progress is the watchdog's forward-progress counter: committed memory
+// operations plus completed software-handler invocations. Retries and BUSY
+// bounces deliberately do not count, so a retry storm that commits nothing
+// trips the watchdog.
+func (m *Machine) progress() uint64 {
+	var p uint64
 	for _, n := range m.Nodes {
-		n.Proc.Start()
+		ms := n.CC.Misses()
+		p += ms.Hits + ms.LocalMisses + ms.RemoteMisses
+		p += n.MC.Stats().SWHandled
 	}
-	var end sim.Time
-	if m.sharded != nil {
-		end = m.sharded.Run()
-		m.sharded.Stop()
-	} else {
-		end = m.Eng.Run()
-	}
-	for _, n := range m.Nodes {
-		if !n.Proc.Done() {
-			panic(fmt.Sprintf("machine: deadlock — node %d still blocked at cycle %d (outstanding=%d)",
-				n.ID, end, n.CC.Outstanding()))
-		}
-	}
-	return m.collect(end)
+	return p
 }
 
-// RunUntil drives the simulation to at most limit cycles, returning the
-// partial result and whether every workload finished.
-func (m *Machine) RunUntil(limit sim.Time) (Result, bool) {
-	for _, n := range m.Nodes {
-		n.Proc.Start()
+// drive executes events up to limit, guarded by the configured watchdog.
+// On a watchdog trip it records a Diagnostic and returns the halt time.
+func (m *Machine) drive(limit sim.Time) sim.Time {
+	if m.cfg.Watchdog > 0 {
+		w := sim.Watchdog{Interval: m.cfg.Watchdog, Progress: m.progress}
+		var end sim.Time
+		var tripped bool
+		if m.sharded != nil {
+			end, tripped = m.sharded.RunGuarded(w, limit)
+			m.sharded.Stop()
+		} else {
+			end, tripped = m.Eng.RunGuarded(w, limit)
+		}
+		if tripped {
+			m.diag = m.buildDiagnostic(end,
+				fmt.Sprintf("watchdog: no forward progress for %d cycles with events still pending", m.cfg.Watchdog))
+		}
+		return end
 	}
 	var end sim.Time
 	if m.sharded != nil {
@@ -339,6 +405,44 @@ func (m *Machine) RunUntil(limit sim.Time) (Result, bool) {
 	} else {
 		end = m.Eng.RunUntil(limit)
 	}
+	return end
+}
+
+// Run starts every processor and drives the simulation until all
+// workloads finish. It panics on deadlock (event queue drained with
+// processors still blocked) — in a deterministic fault-free simulator that
+// is always a protocol bug, and hiding it would corrupt experiments. With
+// a fault plan or watchdog configured, the panic becomes a structured
+// Diagnostic (available via Diagnostic()) so chaos runs terminate cleanly.
+func (m *Machine) Run() Result {
+	for _, n := range m.Nodes {
+		n.Proc.Start()
+	}
+	end := m.drive(sim.Forever)
+	if m.diag == nil {
+		for _, n := range m.Nodes {
+			if !n.Proc.Done() {
+				if m.rec != nil {
+					m.diag = m.buildDiagnostic(end,
+						fmt.Sprintf("deadlock: event queue drained with node %d still blocked", n.ID))
+					break
+				}
+				panic(fmt.Sprintf("machine: deadlock — node %d still blocked at cycle %d (outstanding=%d)",
+					n.ID, end, n.CC.Outstanding()))
+			}
+		}
+	}
+	return m.collect(end)
+}
+
+// RunUntil drives the simulation to at most limit cycles, returning the
+// partial result and whether every workload finished. A watchdog trip
+// (visible via Diagnostic()) also ends the run early.
+func (m *Machine) RunUntil(limit sim.Time) (Result, bool) {
+	for _, n := range m.Nodes {
+		n.Proc.Start()
+	}
+	end := m.drive(limit)
 	done := true
 	for _, n := range m.Nodes {
 		if !n.Proc.Done() {
@@ -357,6 +461,9 @@ func (m *Machine) processed() uint64 {
 
 func (m *Machine) collect(end sim.Time) Result {
 	res := Result{Cycles: end, Events: m.processed(), Network: m.Net.Stats()}
+	if m.rec != nil {
+		res.Violations = uint64(m.rec.Len())
+	}
 	for _, n := range m.Nodes {
 		cs := n.CC.Stats()
 		ms := n.MC.Stats()

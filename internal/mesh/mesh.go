@@ -24,6 +24,7 @@ package mesh
 import (
 	"fmt"
 
+	"limitless/internal/fault"
 	"limitless/internal/sim"
 )
 
@@ -119,6 +120,14 @@ type Config struct {
 	// protocol checker uses this to explore message interleavings.
 	JitterMax  sim.Time
 	JitterSeed uint64
+
+	// Faults, when non-nil, injects the plan's packet-delay jitter and
+	// node-ingress stall windows into every delivery. Like jitter, fault
+	// delays only ever add latency (MinPacketLatency stays a valid bound)
+	// and never reorder a (src,dst) pair. Unlike the jitter stream, fault
+	// decisions are stateless hashes, so they are identical across shard
+	// partitions.
+	Faults *fault.Plan
 }
 
 // DefaultConfig returns timing calibrated so that a 64-node machine shows
@@ -175,6 +184,7 @@ type Network struct {
 
 	rng      uint64
 	pairLast map[uint64]sim.Time // last scheduled delivery per (src,dst)
+	inflight int                 // deliveries scheduled but not yet ejected
 
 	// Hot-path scratch: route() reuses one path buffer (consumed within
 	// Send, never retained), and packets/delivery records cycle through
@@ -440,13 +450,20 @@ func (nw *Network) claimPath(now sim.Time, src, dst NodeID, flits int) sim.Time 
 	}
 
 	head += nw.jitter()
+	if f := nw.cfg.Faults; f != nil {
+		head += f.PacketDelay(now, int(src), int(dst))
+		// A stalled destination holds arriving packets at its ingress until
+		// the stall window passes.
+		head += f.StallDelay(head, int(dst))
+	}
 
 	// Ejection channel: all packets entering a node serialize here.
 	start := nw.eject[dst].res.Claim(head, serial)
 	at := start + serial
 
-	// Jitter must never reorder a (src,dst) pair: enforce FIFO delivery.
-	if nw.cfg.JitterMax > 0 {
+	// Jitter and fault delays must never reorder a (src,dst) pair: enforce
+	// FIFO delivery.
+	if nw.cfg.JitterMax > 0 || nw.cfg.Faults != nil {
 		key := uint64(src)<<32 | uint64(uint32(dst))
 		if last := nw.pairLast[key]; at <= last {
 			at = last + 1
@@ -496,7 +513,21 @@ func (nw *Network) deliverAt(at sim.Time, pkt *Packet, injected sim.Time, pooled
 		d = &delivery{}
 	}
 	d.pkt, d.injected, d.pooled = pkt, injected, pooled
+	nw.inflight++
 	nw.eng.AtHandler(at, nw, d)
+}
+
+// InFlight returns the number of packets currently between injection and
+// ejection — scheduled deliveries plus, in sharded mode, sends deferred in
+// the per-shard logs. It must only be called while no shard is executing
+// (between windows or after the engines have halted); the watchdog's
+// diagnostic dump is the intended caller.
+func (nw *Network) InFlight() int {
+	n := nw.inflight
+	for _, p := range nw.ports {
+		n += p.inflight + len(p.log)
+	}
+	return n
 }
 
 // OnEvent implements sim.Handler: it ejects one packet at its destination.
@@ -505,6 +536,7 @@ func (nw *Network) OnEvent(arg any) {
 	pkt, pooled, injected := d.pkt, d.pooled, d.injected
 	d.pkt = nil
 	nw.freeDels = append(nw.freeDels, d)
+	nw.inflight--
 
 	lat := nw.eng.Now() - injected
 	nw.stats.Packets++

@@ -60,6 +60,7 @@ type ShardPort struct {
 	log      sendLog
 	freePkts []*Packet
 	freeDels []*delivery
+	inflight int // deliveries scheduled on this shard's engine, not yet ejected
 }
 
 // Engine returns the shard engine this port is bound to.
@@ -110,6 +111,7 @@ func (p *ShardPort) schedule(at sim.Time, seq uint64, seqKey bool, src, dst Node
 		d = &delivery{}
 	}
 	d.pkt, d.injected, d.pooled = pkt, injected, true
+	p.inflight++
 	if seqKey {
 		p.eng.AtHandlerSeq(at, seq, p, d)
 	} else {
@@ -124,6 +126,7 @@ func (p *ShardPort) OnEvent(arg any) {
 	pkt, injected := d.pkt, d.injected
 	d.pkt = nil
 	p.freeDels = append(p.freeDels, d)
+	p.inflight--
 
 	lat := p.eng.Now() - injected
 	p.stats.Packets++

@@ -15,6 +15,7 @@ import (
 
 	"limitless/internal/coherence"
 	"limitless/internal/directory"
+	"limitless/internal/fault"
 	"limitless/internal/ipi"
 	"limitless/internal/sim"
 )
@@ -128,6 +129,7 @@ type Processor struct {
 	timing coherence.Timing
 
 	pipe     sim.Resource
+	faults   *fault.Plan
 	contexts []*context
 	cur      int
 	running  bool // an instruction chain is active
@@ -214,6 +216,11 @@ func (p *Processor) Attach(mc *coherence.MemoryController, hnd Handler) {
 // Stats returns a copy of the processor counters.
 func (p *Processor) Stats() Stats { return p.stats }
 
+// SetFaultPlan installs a fault plan whose TrapSlowdown lengthens
+// individual trap-handler executions (modeling handler-time perturbation —
+// TLB misses, instruction-cache cold starts — in the software path).
+func (p *Processor) SetFaultPlan(f *fault.Plan) { p.faults = f }
+
 // Done reports whether every context has run its workload to completion.
 func (p *Processor) Done() bool { return p.finished == len(p.contexts) }
 
@@ -250,6 +257,9 @@ func (p *Processor) ProtocolTrap() {
 		panic("proc: protocol trap before Attach")
 	}
 	cost := p.timing.TrapEntry + p.timing.TrapService
+	if p.faults != nil {
+		cost += p.faults.TrapSlowdown(p.eng.Now(), int(p.cc.ID()))
+	}
 	start := p.pipe.Claim(p.eng.Now(), cost)
 	p.stats.TrapsServiced++
 	p.stats.TrapCycles += cost

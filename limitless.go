@@ -29,6 +29,7 @@ import (
 	"limitless/internal/check"
 	"limitless/internal/coherence"
 	"limitless/internal/directory"
+	"limitless/internal/fault"
 	"limitless/internal/machine"
 	"limitless/internal/mesh"
 	"limitless/internal/proc"
@@ -151,6 +152,22 @@ type Config struct {
 	// assert it); the switch exists for that cross-check and for memory
 	// debugging, not for normal use.
 	DisableEventPool bool
+	// Faults is a deterministic fault-injection spec, "seed:key=value,...".
+	// Keys: delay/delaymax (per-packet delivery jitter), dup/dupdelay
+	// (duplicate deliveries), stall/stallperiod/stallcycles (link stall
+	// windows), trap/trapextra (software-handler slowdowns); rates are
+	// probabilities in [0,1]. The empty string (default) injects nothing,
+	// and a spec with all rates zero is exactly equivalent to no spec.
+	// Faults only ever add latency or re-deliver packets, so any workload
+	// remains completable; the injected schedule depends only on the spec,
+	// never on the host, and is identical for every Shards >= 1 value.
+	Faults string
+	// WatchdogCycles, when positive, halts a run that makes no forward
+	// progress (no memory operation commits, no software handler finishes)
+	// for that many cycles while events are still firing. The run then
+	// returns an error carrying a structured diagnostic of the wedged state
+	// instead of spinning forever.
+	WatchdogCycles int64
 }
 
 // DefaultConfig returns the paper's evaluation machine: 64 processors,
@@ -205,7 +222,15 @@ func (c Config) build() (*machine.Machine, error) {
 		contexts = 1
 	}
 	mc := machine.Config{Width: w, Height: h, Contexts: contexts, Params: params, CacheWays: c.CacheWays,
-		DisableEventPool: c.DisableEventPool, Shards: c.Shards, ShardWorkers: c.ShardWorkers}
+		DisableEventPool: c.DisableEventPool, Shards: c.Shards, ShardWorkers: c.ShardWorkers,
+		Watchdog: sim.Time(c.WatchdogCycles)}
+	if c.Faults != "" {
+		fcfg, err := fault.Parse(c.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("limitless: bad Faults spec: %w", err)
+		}
+		mc.Faults = fault.New(fcfg)
+	}
 	mcfg := mesh.DefaultConfig(w, h)
 	override := false
 	switch c.Topology {
@@ -290,6 +315,12 @@ type Result struct {
 	// DirectoryBitsPerEntry is the hardware directory cost of the chosen
 	// scheme at this machine size (the O(N) vs O(N^2) comparison).
 	DirectoryBitsPerEntry int
+	// DupSuppressed counts fault-injected duplicate deliveries the
+	// controllers absorbed (always zero without a Faults spec).
+	DupSuppressed uint64
+	// Violations counts protocol violations recorded by the hardened
+	// controllers (always zero on a healthy run).
+	Violations uint64
 }
 
 func resultFrom(r machine.Result) Result {
@@ -322,6 +353,8 @@ func resultFrom(r machine.Result) Result {
 		ContextSwitches:     r.Proc.ContextSwitches,
 		SoftwareFraction:    m,
 		SoftwareVectorsPeak: r.SW.MaxResident,
+		DupSuppressed:       r.Coherence.DupSuppressed,
+		Violations:          r.Violations,
 	}
 }
 
@@ -513,13 +546,30 @@ func finishResult(m *machine.Machine, r machine.Result) Result {
 	return out
 }
 
+// NormalizeFaults validates a fault-injection spec and returns its
+// canonical "seed:key=value,..." form (defaults filled in, keys in fixed
+// order), so front ends can echo exactly what a run will inject. An empty
+// spec normalizes to the empty string.
+func NormalizeFaults(spec string) (string, error) {
+	if spec == "" {
+		return "", nil
+	}
+	cfg, err := fault.Parse(spec)
+	if err != nil {
+		return "", err
+	}
+	return cfg.String(), nil
+}
+
 // Run executes the workload on a machine built from cfg.
 func Run(cfg Config, wl Workload) (Result, error) {
 	if cfg.Procs == 0 {
 		cfg.Procs = wl.procs
 	}
 	if wl.unshardable && cfg.Shards > 1 {
-		return Result{}, fmt.Errorf("limitless: trace workloads share replay state across processors and require Shards <= 1 (got %d)", cfg.Shards)
+		return Result{}, fmt.Errorf(
+			"limitless: incompatible options: a trace workload (FromTrace/FromEvents, the -trace flag) cannot run with Shards=%d (the -shards flag): trace replay shares one event cursor across all processors, which the parallel sharded engine would race on; rerun with Shards <= 1 or a generated workload",
+			cfg.Shards)
 	}
 	if cfg.Procs != wl.procs {
 		return Result{}, fmt.Errorf("limitless: config has %d processors but workload was built for %d",
@@ -536,11 +586,17 @@ func Run(cfg Config, wl Workload) (Result, error) {
 	if cfg.MaxCycles > 0 {
 		var done bool
 		res, done = m.RunUntil(sim.Time(cfg.MaxCycles))
+		if d := m.Diagnostic(); d != nil {
+			return finishResult(m, res), fmt.Errorf("limitless: %s", d)
+		}
 		if !done {
 			return finishResult(m, res), fmt.Errorf("limitless: run exceeded %d cycles", cfg.MaxCycles)
 		}
 	} else {
 		res = m.Run()
+		if d := m.Diagnostic(); d != nil {
+			return finishResult(m, res), fmt.Errorf("limitless: %s", d)
+		}
 	}
 	if cfg.Verify {
 		if bad := check.EndState(m); len(bad) > 0 {

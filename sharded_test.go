@@ -1,6 +1,7 @@
 package limitless_test
 
 import (
+	"strings"
 	"testing"
 
 	limitless "limitless"
@@ -85,8 +86,15 @@ func TestShardedRejectsTraceWorkloads(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := limitless.Config{Scheme: limitless.FullMap, Shards: 2}
-	if _, err := limitless.Run(cfg, wl); err == nil {
+	_, err = limitless.Run(cfg, wl)
+	if err == nil {
 		t.Fatal("trace workload with Shards=2 did not error")
+	}
+	// The refusal must name both sides of the conflict and the way out.
+	for _, want := range []string{"trace", "Shards=2", "-shards", "Shards <= 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("rejection %q does not mention %q", err, want)
+		}
 	}
 	cfg.Shards = 1
 	if _, err := limitless.Run(cfg, wl); err != nil {
