@@ -9,6 +9,8 @@
 //	        [-shards 0] [-shard-workers 0]
 //	        [-faults seed:key=value,...] [-watchdog cycles]
 //	        [-cpuprofile file] [-memprofile file]
+//	alewife -list-schemes
+//	alewife -check-tables
 package main
 
 import (
@@ -37,10 +39,35 @@ var (
 	watchdogFlag = flag.Int64("watchdog", 0, "halt with a diagnostic dump after this many cycles without forward progress (0 = off)")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfFlag  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+	listFlag     = flag.Bool("list-schemes", false, "list the registered coherence schemes and exit")
+	checkFlag    = flag.Bool("check-tables", false, "run the static protocol-table checker and exit (non-zero on any hole)")
 )
 
 func main() {
 	flag.Parse()
+
+	if *listFlag {
+		for _, info := range limitless.Schemes() {
+			ptrs := "pointers ignored"
+			if info.NeedsPointers {
+				ptrs = fmt.Sprintf("default %d pointer(s)", info.DefaultPointers)
+			}
+			fmt.Printf("%-14s %s (%s)\n", info.Scheme, info.Doc, ptrs)
+		}
+		return
+	}
+	if *checkFlag {
+		probs := limitless.CheckProtocolTables()
+		for _, p := range probs {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		if len(probs) > 0 {
+			fmt.Fprintf(os.Stderr, "alewife: %d protocol-table problem(s)\n", len(probs))
+			os.Exit(1)
+		}
+		fmt.Println("protocol tables: exhaustive, no unreachable rows, no dead declarations")
+		return
+	}
 
 	if *traceFlag != "" && *shardsFlag > 1 {
 		fmt.Fprintf(os.Stderr,

@@ -1,29 +1,41 @@
 package check
 
 import (
+	"fmt"
 	"testing"
 
 	"limitless/internal/coherence"
+	"limitless/internal/protocol"
 )
 
 // chaosSchemes is the fault-injection matrix of the robustness suite:
-// every centralized scheme at 16 processors.
+// every registered scheme that caches shared data, at its registry-default
+// pointer count.
 func chaosSchemes() []struct {
 	name     string
 	scheme   coherence.Scheme
 	pointers int
 } {
-	return []struct {
+	var out []struct {
 		name     string
 		scheme   coherence.Scheme
 		pointers int
-	}{
-		{"full-map", coherence.FullMap, 0},
-		{"limited-4", coherence.LimitedNB, 4},
-		{"limitless-4", coherence.LimitLESS, 4},
-		{"software-only", coherence.SoftwareOnly, 1},
-		{"chained", coherence.Chained, 1},
 	}
+	for _, info := range protocol.Schemes() {
+		if info.SharedUncached {
+			continue
+		}
+		name := info.Name
+		if info.DefaultPointers > 1 {
+			name = fmt.Sprintf("%s-%d", info.Name, info.DefaultPointers)
+		}
+		out = append(out, struct {
+			name     string
+			scheme   coherence.Scheme
+			pointers int
+		}{name, info.ID, info.DefaultPointers})
+	}
+	return out
 }
 
 func TestChaosMatrix(t *testing.T) {

@@ -9,7 +9,6 @@ import (
 	"fmt"
 
 	"limitless/internal/cache"
-	"limitless/internal/coherence"
 	"limitless/internal/directory"
 	"limitless/internal/fault"
 	"limitless/internal/machine"
@@ -199,7 +198,7 @@ func covered(m *machine.Machine, home *machine.Node, e *directory.Entry, addr di
 	// sharing list lives in the caches. Blocks under Trap-Always may be
 	// owned by an extension handler (profiling, locks, update mode) this
 	// checker cannot see into.
-	if m.Config().Params.Scheme == coherence.Chained || e.Meta == directory.TrapAlways {
+	if m.Config().Params.Scheme.Info().ChainedList || e.Meta == directory.TrapAlways {
 		return true
 	}
 	return false

@@ -1,0 +1,166 @@
+package check
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"limitless/internal/coherence"
+	"limitless/internal/machine"
+	"limitless/internal/mesh"
+	"limitless/internal/protocol"
+	"limitless/internal/workload"
+)
+
+var updateCoverage = flag.Bool("update-coverage", false,
+	"rewrite testdata/coverage_baseline.json from this run's transition coverage")
+
+// runCoverageSuite drives a fixed, deterministic workload mix through every
+// registered scheme with the transition-coverage recorder on. The mix is
+// chosen to light up the interesting rows: the Weather reconstruction
+// (read sharing, write invalidation, overflow, traps, BUSY retries), a
+// modify-grant pass (MODG upgrade rows), and an update-mode
+// producer/consumer run (UPDD refresh and software-mediated stores).
+func runCoverageSuite() {
+	runWeather := func(params coherence.Params) {
+		m := machine.New(machine.Config{Width: 4, Height: 4, Contexts: 1, Params: params})
+		for i, wl := range workload.Weather(workload.DefaultWeather(16)) {
+			m.SetWorkload(mesh.NodeID(i), 0, wl)
+		}
+		m.Run()
+	}
+	for _, info := range protocol.Schemes() {
+		params := coherence.DefaultParams(16)
+		params.Scheme = info.ID
+		if info.NeedsPointers {
+			params.Pointers = info.DefaultPointers
+		}
+		runWeather(params)
+		// A second pass with the footnote-1 optimization exercises the
+		// modify-grant rows (dataless MODG upgrades by a sole reader).
+		params.ModifyGrant = true
+		runWeather(params)
+	}
+
+	// Update coherence (Section 6): stores to the registered block travel
+	// as UWREQ through the software handler and fan out as UPDD refreshes.
+	params := coherence.DefaultParams(16)
+	params.Scheme = coherence.LimitLESS
+	pc := workload.DefaultProducerConsumer(15, 4)
+	m := machine.New(machine.Config{Width: 4, Height: 4, Contexts: 1, Params: params})
+	m.RegisterUpdateMode(pc.Var)
+	for i, wl := range workload.ProducerConsumer(pc) {
+		m.SetWorkload(mesh.NodeID(i), 0, wl)
+	}
+	m.Run()
+}
+
+// coveredRows reduces the coverage report to the set of rows that fired,
+// grouped by table. Hit counts are deliberately dropped: the baseline pins
+// which transitions the suite reaches, not how often.
+func coveredRows() map[string][]string {
+	out := make(map[string][]string)
+	for _, rc := range coherence.TableCoverage() {
+		if rc.Count > 0 {
+			out[rc.Table] = append(out[rc.Table], rc.Row)
+		}
+	}
+	for _, rows := range out {
+		sort.Strings(rows)
+	}
+	return out
+}
+
+// TestTransitionCoverageBaseline runs the coverage suite and compares the
+// set of fired transition rows against the committed golden baseline. A
+// row that the baseline reaches but this run does not is a lost code path
+// (a silent protocol change); a newly reached row means the baseline is
+// stale. Regenerate with:
+//
+//	go test ./internal/check -run TransitionCoverage -update-coverage
+func TestTransitionCoverageBaseline(t *testing.T) {
+	coherence.SetTableCoverage(true)
+	coherence.ResetTableCoverage()
+	defer coherence.SetTableCoverage(false)
+	runCoverageSuite()
+	covered := coveredRows()
+
+	path := filepath.Join("testdata", "coverage_baseline.json")
+	if *updateCoverage {
+		blob, err := json.MarshalIndent(covered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no coverage baseline (%v); run with -update-coverage to create it", err)
+	}
+	baseline := make(map[string][]string)
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		t.Fatalf("corrupt %s: %v", path, err)
+	}
+
+	asSet := func(rows []string) map[string]bool {
+		s := make(map[string]bool, len(rows))
+		for _, r := range rows {
+			s[r] = true
+		}
+		return s
+	}
+	tables := make(map[string]bool)
+	for tbl := range covered {
+		tables[tbl] = true
+	}
+	for tbl := range baseline {
+		tables[tbl] = true
+	}
+	for tbl := range tables {
+		got, want := asSet(covered[tbl]), asSet(baseline[tbl])
+		for row := range want {
+			if !got[row] {
+				t.Errorf("%s: row %q was covered at baseline time but is no longer reached", tbl, row)
+			}
+		}
+		for row := range got {
+			if !want[row] {
+				t.Errorf("%s: row %q is newly reached; regenerate the baseline with -update-coverage", tbl, row)
+			}
+		}
+	}
+}
+
+// TestCoverageCountsEveryScheme asserts the suite reaches every scheme's
+// tables at all — a guard against the registry growing a scheme the
+// coverage suite silently skips.
+func TestCoverageCountsEveryScheme(t *testing.T) {
+	coherence.SetTableCoverage(true)
+	coherence.ResetTableCoverage()
+	defer coherence.SetTableCoverage(false)
+	runCoverageSuite()
+	hit := make(map[string]bool)
+	for _, rc := range coherence.TableCoverage() {
+		if rc.Count > 0 {
+			hit[rc.Table] = true
+		}
+	}
+	for _, info := range protocol.Schemes() {
+		for _, side := range []string{"/memory", "/cache"} {
+			if !hit[info.Name+side] {
+				t.Errorf("coverage suite never dispatched through table %s%s", info.Name, side)
+			}
+		}
+	}
+}

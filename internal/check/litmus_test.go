@@ -6,6 +6,7 @@ import (
 	"limitless/internal/coherence"
 	"limitless/internal/machine"
 	"limitless/internal/mesh"
+	"limitless/internal/protocol"
 	"limitless/internal/sim"
 	"limitless/internal/workload"
 )
@@ -25,16 +26,29 @@ func litmusMachine(scheme coherence.Scheme, ptrs int, seed uint64) *machine.Mach
 	return machine.New(machine.Config{Width: 2, Height: 2, Contexts: 1, Params: params, Mesh: &mcfg})
 }
 
-var litmusSchemes = []struct {
+// litmusSchemes enumerates the protocol registry: every scheme that caches
+// shared data (the private-only baseline routes shared references around
+// the protocol under test), with a single hardware pointer wherever
+// pointers matter, so overflow paths are exercised constantly.
+var litmusSchemes = func() (out []struct {
 	s    coherence.Scheme
 	ptrs int
-}{
-	{coherence.FullMap, 0},
-	{coherence.LimitedNB, 1},
-	{coherence.LimitLESS, 1},
-	{coherence.SoftwareOnly, 1},
-	{coherence.Chained, 1},
-}
+}) {
+	for _, info := range protocol.Schemes() {
+		if info.SharedUncached {
+			continue
+		}
+		ptrs := 0
+		if info.NeedsPointers {
+			ptrs = 1
+		}
+		out = append(out, struct {
+			s    coherence.Scheme
+			ptrs int
+		}{info.ID, ptrs})
+	}
+	return out
+}()
 
 // TestLitmusMessagePassing: MP. P0: x=1; y=1. P1: r1=y; r2=x.
 // Forbidden under SC: r1=1 && r2=0.

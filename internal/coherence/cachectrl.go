@@ -8,6 +8,7 @@ import (
 	"limitless/internal/directory"
 	"limitless/internal/fault"
 	"limitless/internal/mesh"
+	"limitless/internal/protocol"
 	"limitless/internal/sim"
 )
 
@@ -144,6 +145,14 @@ type CacheController struct {
 	sendH     txnSendHandler
 	compH     completionHandler
 	freeComps []*completion
+
+	// tbl is the scheme's cache-side transition table; HandleMem interprets
+	// it. sharedUncached caches SchemeInfo.SharedUncached (the private-only
+	// baseline routes shared references around the cache), and cctx is the
+	// reusable dispatch scratch context.
+	tbl            *protocol.Table[cacheCtx]
+	sharedUncached bool
+	cctx           cacheCtx
 }
 
 // txnSendHandler sends (or re-sends) a transaction's request to its home.
@@ -189,6 +198,9 @@ func NewCacheController(eng *sim.Engine, nw NetPort, id mesh.NodeID, params Para
 	}
 	cc.sendH = txnSendHandler{cc}
 	cc.compH = completionHandler{cc}
+	cc.tbl = policyFor(params.Scheme).cache
+	cc.sharedUncached = params.Scheme.Info().SharedUncached
+	cc.cctx.cc = cc
 	return cc
 }
 
@@ -284,7 +296,7 @@ func (cc *CacheController) missOutcome(addr directory.Addr) Outcome {
 func (cc *CacheController) Access(req Request) Outcome {
 	// The private-only baseline never caches shared data: every shared
 	// reference is an uncached round trip to the home memory module.
-	if cc.params.Scheme == PrivateOnly && req.Shared {
+	if cc.sharedUncached && req.Shared {
 		return cc.uncached(req)
 	}
 	// Update-mode stores carry their value to the home's software handler.
@@ -402,7 +414,10 @@ func (cc *CacheController) fill(addr directory.Addr, st cache.LineState, value u
 	}
 }
 
-// HandleMem processes a memory-to-cache protocol message.
+// HandleMem processes a memory-to-cache protocol message by dispatching it
+// through the scheme's cache-side transition table. The table's state axis
+// is the MSHR transaction state, so "reply without a matching transaction"
+// shows up as a declared-impossible cell rather than a hand-coded check.
 func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 	cc.stats.Received[m.Type]++
 	// Fault-injected re-deliveries never re-run the cache-side protocol
@@ -414,148 +429,11 @@ func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 		cc.stats.DupSuppressed++
 		return
 	}
-	switch m.Type {
-	case RDATA:
-		t := cc.txns[m.Addr]
-		if t == nil || t.msg.Type != RREQ {
-			cc.protocolBug("no-read-txn", src, m)
-			return
-		}
-		cc.fill(m.Addr, cache.ReadOnly, m.Value)
-		if cc.params.Scheme == Chained && m.Next != ChainResupply {
-			// Prepend the new list position; older (possibly zombie)
-			// positions stay behind it in walk order.
-			cc.chainNext[m.Addr] = append([]mesh.NodeID{m.Next}, cc.chainNext[m.Addr]...)
-		}
-		cc.finish(m.Addr, m.Value)
-
-	case WDATA:
-		t := cc.txns[m.Addr]
-		if t == nil || t.msg.Type != WREQ {
-			cc.protocolBug("no-write-txn", src, m)
-			return
-		}
-		if cc.params.Scheme == Chained {
-			// Becoming owner dissolves any list position this cache held
-			// (an upgrade of a single-entry chain grants without a walk).
-			delete(cc.chainNext, m.Addr)
-		}
-		cc.fill(m.Addr, cache.ReadWrite, m.Value)
-		newVal, result := t.req.Value, t.req.Value
-		if t.req.Modify != nil {
-			// Atomic read-modify-write: old value in, new value stored,
-			// old value returned — all within this event.
-			newVal = t.req.Modify(m.Value)
-			result = m.Value
-		}
-		if !cc.cache.Write(m.Addr, newVal) {
-			panic("coherence: store missed immediately after WDATA fill")
-		}
-		cc.finish(m.Addr, result)
-
-	case MODG:
-		t := cc.txns[m.Addr]
-		if t == nil || t.msg.Type != WREQ {
-			cc.protocolBug("no-write-txn", src, m)
-			return
-		}
-		old, ok := cc.cache.Peek(m.Addr)
-		if !ok {
-			// The read copy the grant relies on was displaced while the
-			// upgrade was in flight; ask the directory (which now records
-			// us as owner) for the data.
-			cc.stats.Retries++
-			cc.send(cc.home(m.Addr), t.msg)
-			return
-		}
-		newVal, result := t.req.Value, t.req.Value
-		if t.req.Modify != nil {
-			newVal = t.req.Modify(old)
-			result = old
-		}
-		cc.fill(m.Addr, cache.ReadWrite, old)
-		if !cc.cache.Write(m.Addr, newVal) {
-			panic("coherence: store missed immediately after MODG upgrade")
-		}
-		cc.finish(m.Addr, result)
-
-	case INV:
-		value, dirty, present := cc.cache.Invalidate(m.Addr)
-		delete(cc.chainNext, m.Addr)
-		if present && dirty {
-			cc.send(src, &Msg{Type: UPDATE, Addr: m.Addr, Value: value, Next: -1})
-			return
-		}
-		cc.send(src, &Msg{Type: ACKC, Addr: m.Addr, Next: -1, Evict: m.Evict})
-
-	case BUSY:
-		t := cc.txns[m.Addr]
-		if t == nil {
-			cc.protocolBug("no-txn", src, m)
-			return
-		}
-		cc.stats.Retries++
-		t.retries++
-		// The transaction could complete before the retry fires only if a
-		// response overtook the BUSY; with in-order delivery it cannot, so
-		// the entry is still live when sendH runs.
-		backoff := cc.params.Timing.RetryBackoff
-		if max := cc.params.Timing.RetryBackoffMax; max > 0 {
-			for i := 1; i < t.retries && backoff < max; i++ {
-				backoff <<= 1
-			}
-			if backoff > max {
-				backoff = max
-			}
-		}
-		cc.eng.AfterHandler(backoff, &cc.sendH, t)
-
-	case CINV:
-		cc.cache.Invalidate(m.Addr)
-		stack := cc.chainNext[m.Addr]
-		if len(stack) == 0 {
-			// Defensive: a walk reached a cache with no recorded position.
-			cc.send(cc.home(m.Addr), &Msg{Type: ACKC, Addr: m.Addr, Next: -1})
-			return
-		}
-		next := stack[0]
-		if len(stack) == 1 {
-			delete(cc.chainNext, m.Addr)
-		} else {
-			cc.chainNext[m.Addr] = stack[1:]
-		}
-		if next >= 0 {
-			cc.send(next, &Msg{Type: CINV, Addr: m.Addr, Next: -1})
-			return
-		}
-		// Tail of the list: acknowledge to the home.
-		cc.send(cc.home(m.Addr), &Msg{Type: ACKC, Addr: m.Addr, Next: -1})
-
-	case UDATA:
-		cc.finish(m.Addr, m.Value)
-
-	case UACK:
-		t := cc.txns[m.Addr]
-		if t == nil {
-			cc.protocolBug("no-txn", src, m)
-			return
-		}
-		result := t.req.Value
-		if t.req.Modify != nil {
-			// The home applied the read-modify-write; the UACK carries
-			// the old value. Any local read copy was refreshed by the
-			// UPDD that preceded this UACK.
-			result = m.Value
-		}
-		cc.finish(m.Addr, result)
-
-	case UPDD:
-		// Update-mode propagation: overwrite the read copy in place. No
-		// acknowledgment — update mode is delivered weakly ordered, as
-		// Section 6 extensions run under the software handler's control.
-		cc.cache.Update(m.Addr, m.Value)
-
-	default:
-		cc.protocolBug("dispatch", src, m)
+	t := cc.txns[m.Addr]
+	st := txnState(t)
+	c := &cc.cctx
+	c.src, c.m, c.t = src, m, t
+	if v := cc.tbl.Dispatch(st, protocol.Any, uint8(m.Type), c); v != protocol.Matched {
+		cc.tableViolation(v, st, src, m)
 	}
 }

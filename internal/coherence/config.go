@@ -1,56 +1,30 @@
 package coherence
 
 import (
-	"fmt"
-
+	"limitless/internal/protocol"
 	"limitless/internal/sim"
 )
 
 // Scheme selects the directory organization — the independent variable of
-// every experiment in the paper.
-type Scheme uint8
+// every experiment in the paper. It is the protocol registry's scheme
+// identifier; the registry (internal/protocol) is the single definition of
+// the schemes, their names and their configuration requirements.
+type Scheme = protocol.SchemeID
 
 const (
-	// FullMap is the Censier-Feautrier full-map directory: one presence
-	// bit per processor per block. Memory O(N²), never overflows.
-	FullMap Scheme = iota
-	// LimitedNB is Dir_iNB: i hardware pointers, no broadcast; pointer
-	// overflow evicts a previously cached copy.
-	LimitedNB
-	// LimitLESS is the paper's contribution: i hardware pointers, with
-	// overflow handled by a software trap that extends the directory into
-	// local memory.
-	LimitLESS
-	// SoftwareOnly puts every directory entry in Trap-Always mode: all
-	// coherence handled by the processor (the m=1 limit of Section 3.1,
-	// the "migration path toward interrupt-driven cache coherence").
-	SoftwareOnly
-	// PrivateOnly caches only data tagged private by the workload; shared
-	// references are uncached round trips (an ASIM baseline, Section 5.1).
-	PrivateOnly
-	// Chained distributes the pointer list through the caches as a linked
-	// list (SCI-style [9]); invalidations traverse the list sequentially.
-	Chained
+	// FullMap is the Censier-Feautrier full-map directory.
+	FullMap = protocol.FullMap
+	// LimitedNB is Dir_iNB: overflow evicts a previously cached copy.
+	LimitedNB = protocol.LimitedNB
+	// LimitLESS traps pointer overflow to a software handler.
+	LimitLESS = protocol.LimitLESS
+	// SoftwareOnly handles every protocol packet in software.
+	SoftwareOnly = protocol.SoftwareOnly
+	// PrivateOnly caches only private data; shared references go uncached.
+	PrivateOnly = protocol.PrivateOnly
+	// Chained links the sharing list through the caches (SCI-style).
+	Chained = protocol.Chained
 )
-
-func (s Scheme) String() string {
-	switch s {
-	case FullMap:
-		return "full-map"
-	case LimitedNB:
-		return "limited"
-	case LimitLESS:
-		return "limitless"
-	case SoftwareOnly:
-		return "software-only"
-	case PrivateOnly:
-		return "private-only"
-	case Chained:
-		return "chained"
-	default:
-		return fmt.Sprintf("Scheme(%d)", uint8(s))
-	}
-}
 
 // EvictPolicy selects the victim when a limited directory overflows.
 type EvictPolicy uint8

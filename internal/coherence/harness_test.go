@@ -55,10 +55,9 @@ func newRig(t *testing.T, w, h int, params coherence.Params) *rig {
 		c := cache.New(cache.Config{Lines: 64, BlockWords: params.BlockWords})
 		n.cc = coherence.NewCacheController(eng, nw, id, params, coherence.HomeOf, c)
 		n.mc = coherence.NewMemoryController(eng, nw, id, params, n)
-		switch params.Scheme {
-		case coherence.SoftwareOnly:
+		if params.Scheme.Info().TrapDefault {
 			n.hnd = swdir.NewSoftware(n.mc)
-		default:
+		} else {
 			n.hnd = swdir.New(n.mc)
 		}
 		r.nodes = append(r.nodes, n)

@@ -7,6 +7,7 @@ import (
 	"limitless/internal/fault"
 	"limitless/internal/ipi"
 	"limitless/internal/mesh"
+	"limitless/internal/protocol"
 	"limitless/internal/sim"
 )
 
@@ -68,22 +69,20 @@ func (p Params) validate() {
 	if p.BlockWords < 1 {
 		panic("coherence: Params.BlockWords must be >= 1")
 	}
-	switch p.Scheme {
-	case LimitedNB, LimitLESS, SoftwareOnly, Chained:
-		if p.Pointers < 1 {
-			panic(fmt.Sprintf("coherence: scheme %v needs Pointers >= 1", p.Scheme))
-		}
+	if policyFor(p.Scheme) == nil {
+		panic(fmt.Sprintf("coherence: scheme %v has no registered policy", p.Scheme))
+	}
+	if p.Scheme.Info().NeedsPointers && p.Pointers < 1 {
+		panic(fmt.Sprintf("coherence: scheme %v needs Pointers >= 1", p.Scheme))
 	}
 }
 
 // newPointerSet builds the per-entry pointer storage for the scheme.
 func (p Params) newPointerSet() directory.PointerSet {
-	switch p.Scheme {
-	case FullMap, PrivateOnly:
+	if p.Scheme.Info().FullMapStorage {
 		return directory.NewBitVector(p.Nodes)
-	default:
-		return directory.NewLimited(p.Pointers)
 	}
+	return directory.NewLimited(p.Pointers)
 }
 
 type deferredPkt struct {
@@ -118,6 +117,13 @@ type MemoryController struct {
 	procH     processHandler
 	freeArgs  []*procArg
 	evictSeed uint64
+
+	// tbl is the scheme's memory-side transition table; process interprets
+	// it. chained caches SchemeInfo.ChainedList for the duplicate-RREQ echo
+	// check, and mctx is the reusable dispatch scratch context.
+	tbl     *protocol.Table[memCtx]
+	chained bool
+	mctx    memCtx
 }
 
 // procArg carries one in-flight message through the controller-occupancy
@@ -144,7 +150,8 @@ func NewMemoryController(eng *sim.Engine, nw NetPort, id mesh.NodeID, params Par
 	if params.IPIQueueCap < 1 {
 		params.IPIQueueCap = 8
 	}
-	if params.Scheme == SoftwareOnly && params.DefaultMeta == directory.Normal {
+	info := params.Scheme.Info()
+	if info.TrapDefault && params.DefaultMeta == directory.Normal {
 		// Software-only coherence means every entry starts — and stays —
 		// in Trap-Always mode.
 		params.DefaultMeta = directory.TrapAlways
@@ -159,8 +166,11 @@ func NewMemoryController(eng *sim.Engine, nw NetPort, id mesh.NodeID, params Par
 		sink:      sink,
 		deferred:  make(map[directory.Addr][]deferredPkt, 16),
 		evictSeed: uint64(id)*2654435761 + 1,
+		tbl:       policyFor(params.Scheme).mem,
+		chained:   info.ChainedList,
 	}
 	mc.procH = processHandler{mc}
+	mc.mctx.mc = mc
 	return mc
 }
 
@@ -243,84 +253,35 @@ func (mc *MemoryController) Handle(src mesh.NodeID, m *Msg) {
 	mc.eng.AtHandler(start+cost, &mc.procH, a)
 }
 
-// process runs one message through the meta-state filter of Table 4 and
-// then the hardware state machine of Figure 2 / Table 2.
+// process runs one message through the scheme's memory-side transition
+// table: the meta-state filter of Table 4 and the hardware state machine
+// of Figure 2 / Table 2 are rows of the same table, tried in declaration
+// order.
 func (mc *MemoryController) process(src mesh.NodeID, m *Msg) {
 	mc.stats.Received[m.Type]++
 	e := mc.entry(m.Addr)
 
 	// Fault-injected re-deliveries are suppressed before they can reach the
-	// meta-state filter: a duplicate must never trap, defer, or bounce BUSY,
-	// and above all must never re-run a transition. The only duplicate that
-	// earns a reply is a re-delivered RREQ against a stable Read-Only entry
-	// whose pointer set already records the requester — answering it with an
+	// table: a duplicate must never trap, defer, or bounce BUSY, and above
+	// all must never re-run a transition. The only duplicate that earns a
+	// reply is a re-delivered RREQ against a stable Read-Only entry whose
+	// pointer set already records the requester — answering it with an
 	// idempotent RDATA echo is safe (the reader holds the copy the directory
 	// thinks it holds) and models a real controller's retransmission path.
 	if m.Dup {
 		mc.stats.DupSuppressed++
 		if m.Type == RREQ && e.State == directory.ReadOnly && e.Meta == directory.Normal &&
-			mc.params.Scheme != Chained && (e.Ptrs.Contains(src) || (e.Local && src == mc.id)) {
+			!mc.chained && (e.Ptrs.Contains(src) || (e.Local && src == mc.id)) {
 			mc.Send(src, &Msg{Type: RDATA, Addr: m.Addr, Value: e.Value, Next: -1, Dup: true})
 		}
 		return
 	}
 
-	// Eviction acknowledgments are absorbed without touching transaction
-	// state, whatever the entry is doing now.
-	if m.Type == ACKC && m.Evict {
-		return
+	c := &mc.mctx
+	c.reset(src, m, e)
+	if v := mc.tbl.Dispatch(uint8(e.State), uint8(e.Meta), uint8(m.Type), c); v != protocol.Matched {
+		mc.tableViolation(v, e, src, m)
 	}
-
-	switch e.Meta {
-	case directory.TransInProgress:
-		// Interlock: software is processing this block. Requests bounce
-		// with BUSY (the requester retries); non-retriable packets are
-		// deferred until the handler releases the block.
-		switch m.Type {
-		case RREQ, WREQ, URREQ, UWREQ:
-			mc.stats.Busies++
-			mc.Send(src, &Msg{Type: BUSY, Addr: m.Addr, Next: -1})
-		default:
-			mc.stats.Deferred++
-			q := mc.deferred[m.Addr]
-			if q == nil {
-				if n := len(mc.deferFree); n > 0 {
-					q = mc.deferFree[n-1]
-					mc.deferFree[n-1] = nil
-					mc.deferFree = mc.deferFree[:n-1]
-				}
-			}
-			mc.deferred[m.Addr] = append(q, deferredPkt{src, m})
-		}
-		return
-	case directory.TrapAlways:
-		mc.forwardToSoftware(src, m, e)
-		return
-	case directory.TrapOnWrite:
-		switch m.Type {
-		case WREQ, UPDATE, REPM, UWREQ:
-			mc.forwardToSoftware(src, m, e)
-			return
-		}
-	}
-
-	// Uncached accesses bypass the directory state machine.
-	switch m.Type {
-	case URREQ:
-		mc.Send(src, &Msg{Type: UDATA, Addr: m.Addr, Value: e.Value, Next: -1})
-		return
-	case UWREQ:
-		old := e.Value
-		if m.Modify != nil {
-			e.Value = m.Modify(old)
-		} else {
-			e.Value = m.Value
-		}
-		mc.Send(src, &Msg{Type: UACK, Addr: m.Addr, Value: old, Next: -1})
-		return
-	}
-
-	mc.hardware(src, m, e)
 }
 
 // forwardToSoftware implements the hand-off of Section 4.3: the packet is
@@ -403,21 +364,6 @@ func (mc *MemoryController) clearSharers(e *directory.Entry) {
 	e.Local = false
 }
 
-// hardware is the Figure-2 state machine (Table 2 transitions), shared by
-// every centralized-directory scheme.
-func (mc *MemoryController) hardware(src mesh.NodeID, m *Msg, e *directory.Entry) {
-	switch e.State {
-	case directory.ReadOnly:
-		mc.inReadOnly(src, m, e)
-	case directory.ReadWrite:
-		mc.inReadWrite(src, m, e)
-	case directory.ReadTransaction:
-		mc.inReadTransaction(src, m, e)
-	case directory.WriteTransaction:
-		mc.inWriteTransaction(src, m, e)
-	}
-}
-
 func (mc *MemoryController) protocolBug(state string, src mesh.NodeID, m *Msg) {
 	if mc.rec != nil {
 		mc.rec.Record(fault.Violation{
@@ -433,184 +379,10 @@ func (mc *MemoryController) protocolBug(state string, src mesh.NodeID, m *Msg) {
 		mc.id, state, m.Type, src, m.Addr))
 }
 
-// inReadOnly implements transitions 1-3 of Table 2 (plus limited-directory
-// eviction and LimitLESS overflow trapping).
-func (mc *MemoryController) inReadOnly(src mesh.NodeID, m *Msg, e *directory.Entry) {
-	switch m.Type {
-	case RREQ: // Transition 1: P = P ∪ {i}, RDATA → i.
-		if mc.params.Scheme == Chained {
-			mc.chainedRead(src, e, m.Addr)
-			e.NoteSharers(e.Chain)
-			return
-		}
-		if mc.addSharer(e, src) {
-			e.NoteSharers(e.Sharers())
-			mc.Send(src, &Msg{Type: RDATA, Addr: m.Addr, Value: e.Value, Next: -1})
-			return
-		}
-		mc.overflow(src, m, e)
-
-	case WREQ:
-		sh := mc.sharers(e)
-		only := true
-		for _, n := range sh {
-			if n != src {
-				only = false
-				break
-			}
-		}
-		if mc.params.Scheme == Chained && e.Chain > 1 {
-			// The directory sees only the list head; deeper readers exist
-			// whenever the chain is longer than one, so the walk must run
-			// even if the head is the requester.
-			only = false
-		}
-		if only {
-			// Transition 2: P = {} or P = {i}: grant immediately. With
-			// the modify-grant optimization, a requester that already
-			// holds a read copy gets a dataless MODG.
-			hadCopy := len(sh) > 0
-			mc.clearSharers(e)
-			e.Ptrs.Add(src)
-			e.State = directory.ReadWrite
-			e.Chain = 0
-			if mc.params.ModifyGrant && hadCopy {
-				mc.Send(src, &Msg{Type: MODG, Addr: m.Addr, Next: -1})
-				return
-			}
-			mc.Send(src, &Msg{Type: WDATA, Addr: m.Addr, Value: e.Value, Next: -1})
-			return
-		}
-		// Transition 3: invalidate every other copy, then grant.
-		mc.stats.WriteTxns++
-		e.State = directory.WriteTransaction
-		if mc.params.Scheme == Chained {
-			// Sequential invalidation: one CINV walks the list; the tail
-			// acknowledges. The requester's own copy (if on the list) is
-			// invalidated too and refreshed by the eventual WDATA.
-			head := sh[0]
-			e.AckCtr = 1
-			mc.clearSharers(e)
-			e.Ptrs.Add(src)
-			e.Chain = 0
-			mc.Send(head, &Msg{Type: CINV, Addr: m.Addr, Next: -1})
-			return
-		}
-		n := 0
-		for _, k := range sh {
-			if k != src {
-				mc.Send(k, &Msg{Type: INV, Addr: m.Addr, Next: -1})
-				n++
-			}
-		}
-		e.AckCtr = n
-		mc.clearSharers(e)
-		e.Ptrs.Add(src)
-
-	case REPM:
-		// A replaced-modified block can only reach a Read-Only entry when
-		// the protocol has lost track of ownership.
-		mc.protocolBug("Read-Only", src, m)
-
-	case UPDATE:
-		mc.protocolBug("Read-Only", src, m)
-
-	case ACKC:
-		// Non-eviction ACKC in Read-Only has no transaction to count
-		// against; unreachable under in-order delivery.
-		mc.protocolBug("Read-Only", src, m)
-
-	case CINV:
-		mc.protocolBug("Read-Only", src, m)
-	}
-}
-
-// inReadWrite implements transitions 4-6 of Table 2.
-func (mc *MemoryController) inReadWrite(src mesh.NodeID, m *Msg, e *directory.Entry) {
-	owner, ok := mc.owner(e)
-	if !ok {
-		// Recorded pointer-set violation: the message cannot be dispatched
-		// against a corrupt entry; drop it.
-		return
-	}
-	switch m.Type {
-	case RREQ:
-		// Transition 5: P = {j}, INV → owner, await UPDATE.
-		if src == owner {
-			// The directory believes src owns the block; an RREQ from it
-			// cannot be serviced until its REPM arrives. Unreachable with
-			// in-order point-to-point delivery.
-			mc.protocolBug("Read-Write(owner-RREQ)", src, m)
-			return
-		}
-		mc.stats.ReadTxns++
-		e.State = directory.ReadTransaction
-		mc.clearSharers(e)
-		e.Ptrs.Add(src)
-		mc.Send(owner, &Msg{Type: INV, Addr: m.Addr, Next: -1})
-
-	case WREQ:
-		if src == owner {
-			// Recovery from a lost modify grant: the owner's read copy
-			// was displaced while its upgrade was in flight, so it never
-			// received data. Memory still holds the current value.
-			mc.Send(src, &Msg{Type: WDATA, Addr: m.Addr, Value: e.Value, Next: -1})
-			return
-		}
-		// Transition 4: P = {j}, INV → owner, await UPDATE/ACKC.
-		mc.stats.WriteTxns++
-		e.State = directory.WriteTransaction
-		e.AckCtr = 1
-		mc.clearSharers(e)
-		e.Ptrs.Add(src)
-		mc.Send(owner, &Msg{Type: INV, Addr: m.Addr, Next: -1})
-
-	case REPM:
-		// Transition 6: owner writes the block back; entry becomes
-		// uncached Read-Only.
-		if src != owner {
-			mc.protocolBug("Read-Write(foreign-REPM)", src, m)
-			return
-		}
-		e.Value = m.Value
-		mc.clearSharers(e)
-		e.State = directory.ReadOnly
-		e.Chain = 0
-
-	default:
-		mc.protocolBug("Read-Write", src, m)
-	}
-}
-
-// inReadTransaction implements transitions 9-10 of Table 2.
-func (mc *MemoryController) inReadTransaction(src mesh.NodeID, m *Msg, e *directory.Entry) {
-	switch m.Type {
-	case RREQ, WREQ: // Transition 9: BUSY.
-		mc.stats.Busies++
-		mc.Send(src, &Msg{Type: BUSY, Addr: m.Addr, Next: -1})
-
-	case REPM:
-		// Transition 9: REPM absorbed — the owner evicted the block while
-		// our INV was in flight; capture the data, keep waiting for the
-		// invalidation acknowledgment.
-		e.Value = m.Value
-
-	case UPDATE:
-		// Transition 10: data arrives; answer the waiting reader.
-		mc.finishReadTransaction(e, m.Addr, m.Value, true)
-
-	case ACKC:
-		// The owner acknowledged without data: its dirty copy left via a
-		// REPM that was absorbed above (in-order delivery guarantees the
-		// REPM arrived first). Memory already holds the freshest value.
-		mc.finishReadTransaction(e, m.Addr, e.Value, false)
-
-	default:
-		mc.protocolBug("Read-Transaction", src, m)
-	}
-}
-
-func (mc *MemoryController) finishReadTransaction(e *directory.Entry, addr directory.Addr, value uint64, store bool) {
+// finishReadTransaction completes transition 10 (or its ACKC twin): the
+// waiting reader gets RDATA and the entry returns to Read-Only. chain
+// restores the single-reader list length for the chained scheme.
+func (mc *MemoryController) finishReadTransaction(e *directory.Entry, addr directory.Addr, value uint64, store, chain bool) {
 	if store {
 		e.Value = value
 	}
@@ -619,50 +391,10 @@ func (mc *MemoryController) finishReadTransaction(e *directory.Entry, addr direc
 		return
 	}
 	e.State = directory.ReadOnly
-	if mc.params.Scheme == Chained {
+	if chain {
 		e.Chain = 1
 	}
 	mc.Send(reader, &Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: -1})
-}
-
-// inWriteTransaction implements transitions 7-8 of Table 2.
-func (mc *MemoryController) inWriteTransaction(src mesh.NodeID, m *Msg, e *directory.Entry) {
-	switch m.Type {
-	case RREQ, WREQ: // Transition 7: BUSY.
-		mc.stats.Busies++
-		mc.Send(src, &Msg{Type: BUSY, Addr: m.Addr, Next: -1})
-
-	case REPM:
-		// The previous owner's eviction crossed our INV; absorb the data.
-		// The matching ACKC is still on its way.
-		e.Value = m.Value
-
-	case ACKC: // Transition 7/8: count acknowledgments.
-		if e.AckCtr <= 0 {
-			mc.protocolBug("Write-Transaction(ack-underflow)", src, m)
-			return
-		}
-		e.AckCtr--
-		if e.AckCtr == 0 {
-			mc.finishWriteTransaction(e, m.Addr)
-		}
-
-	case UPDATE:
-		// Transition 8: the owner returned its dirty data in response to
-		// the invalidation; counts as the acknowledgment.
-		if e.AckCtr <= 0 {
-			mc.protocolBug("Write-Transaction(update-underflow)", src, m)
-			return
-		}
-		e.Value = m.Value
-		e.AckCtr--
-		if e.AckCtr == 0 {
-			mc.finishWriteTransaction(e, m.Addr)
-		}
-
-	default:
-		mc.protocolBug("Write-Transaction", src, m)
-	}
 }
 
 func (mc *MemoryController) finishWriteTransaction(e *directory.Entry, addr directory.Addr) {
@@ -698,28 +430,6 @@ func (mc *MemoryController) owner(e *directory.Entry) (_ mesh.NodeID, ok bool) {
 			mc.id, nodes, e.State))
 	}
 	return nodes[0], true
-}
-
-// overflow handles an RREQ that found the hardware pointer array full: the
-// defining event of the evaluation. Full-map cannot get here; limited
-// directories evict (Dir_iNB); LimitLESS traps to software.
-func (mc *MemoryController) overflow(src mesh.NodeID, m *Msg, e *directory.Entry) {
-	mc.stats.PointerOverflows++
-	switch mc.params.Scheme {
-	case LimitedNB:
-		victim := mc.pickVictim(e)
-		e.Ptrs.Remove(victim)
-		e.Ptrs.Add(src)
-		mc.stats.Evictions++
-		mc.Send(victim, &Msg{Type: INV, Addr: m.Addr, Next: -1, Evict: true})
-		mc.Send(src, &Msg{Type: RDATA, Addr: m.Addr, Value: e.Value, Next: -1})
-
-	case LimitLESS, SoftwareOnly:
-		mc.forwardToSoftware(src, m, e)
-
-	default:
-		mc.protocolBug(fmt.Sprintf("Read-Only(overflow,%v)", mc.params.Scheme), src, m)
-	}
 }
 
 // pickVictim selects the pointer a limited directory reclaims.

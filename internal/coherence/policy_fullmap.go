@@ -1,0 +1,16 @@
+package coherence
+
+import "limitless/internal/protocol"
+
+// Full-map directory (Dir_NNB, Censier-Feautrier): the pointer set is a
+// bit vector over all processors, so the Read-Only read path can never
+// overflow — a single unconditional grant row.
+func init() {
+	roRREQ := []memRow{
+		{State: stRO, Meta: anyKey, Msg: uint8(RREQ), ID: "ro-rreq-grant", Action: memReadGrant,
+			Doc: "transition 1: record the reader in the presence bits, RDATA"},
+	}
+	registerPolicy(FullMap,
+		protocol.New(memSpec(FullMap), memCentralizedRows(roRREQ), memCentralizedImpossible()),
+		centralizedCacheTable(FullMap))
+}

@@ -1,0 +1,26 @@
+package coherence
+
+import "limitless/internal/protocol"
+
+// LimitLESS_i: i hardware pointers backed by software. Pointer overflow on
+// a read traps to the processor, whose handler empties the hardware
+// pointers into a full-map software directory and leaves the entry in
+// Trap-On-Write meta state — from then on the Table 4 meta rows route the
+// write-flavored messages to software while reads stay in hardware.
+func init() {
+	registerPolicy(LimitLESS,
+		protocol.New(memSpec(LimitLESS), memCentralizedRows(memTrapOverflowRREQ()), memCentralizedImpossible()),
+		centralizedCacheTable(LimitLESS))
+}
+
+// memTrapOverflowRREQ is the Read-Only read path shared by LimitLESS and
+// software-only: grant while the hardware pointers suffice, trap past
+// that.
+func memTrapOverflowRREQ() []memRow {
+	return []memRow{
+		{State: stRO, Meta: anyKey, Msg: uint8(RREQ), ID: "ro-rreq-grant", Guard: guardRORecordable, Action: memReadGrant,
+			Doc: "transition 1: pointer array has room (or Local Bit escape), RDATA"},
+		{State: stRO, Meta: anyKey, Msg: uint8(RREQ), ID: "ro-rreq-trap", Action: memReadOverflowTrap,
+			Doc: "pointer overflow: trap to the software directory handler (Section 4)"},
+	}
+}

@@ -1,0 +1,19 @@
+package coherence
+
+import "limitless/internal/protocol"
+
+// Private-data-only baseline: the cache controller routes shared
+// references around the cache as uncached round trips
+// (SchemeInfo.SharedUncached), so the directory machine only ever manages
+// private blocks — at most one sharer. The memory table is the full-map
+// set (bit-vector storage, no overflow); the uncached rows of the common
+// prefix carry the shared traffic.
+func init() {
+	roRREQ := []memRow{
+		{State: stRO, Meta: anyKey, Msg: uint8(RREQ), ID: "ro-rreq-grant", Action: memReadGrant,
+			Doc: "transition 1: record the (private) reader, RDATA"},
+	}
+	registerPolicy(PrivateOnly,
+		protocol.New(memSpec(PrivateOnly), memCentralizedRows(roRREQ), memCentralizedImpossible()),
+		centralizedCacheTable(PrivateOnly))
+}

@@ -1,0 +1,14 @@
+package coherence
+
+import "limitless/internal/protocol"
+
+// Software-only coherence: fresh entries start in Trap-Always meta state
+// (SchemeInfo.TrapDefault), so in practice every packet is handled by the
+// "trap-always-forward" row and the software handler. The hardware rows
+// are the LimitLESS set: they keep the table exhaustive and defensively
+// correct should a handler ever return an entry to hardware control.
+func init() {
+	registerPolicy(SoftwareOnly,
+		protocol.New(memSpec(SoftwareOnly), memCentralizedRows(memTrapOverflowRREQ()), memCentralizedImpossible()),
+		centralizedCacheTable(SoftwareOnly))
+}

@@ -10,29 +10,18 @@ import (
 	"fmt"
 
 	limitless "limitless"
-	"limitless/internal/coherence"
 	"limitless/internal/machine"
+	"limitless/internal/protocol"
 )
 
 // bitsPerEntry maps the facade scheme names onto the machine package's
-// hardware cost model.
+// hardware cost model through the protocol registry.
 func bitsPerEntry(s limitless.Scheme, nodes, pointers int) int {
-	var cs coherence.Scheme
-	switch s {
-	case limitless.FullMap:
-		cs = coherence.FullMap
-	case limitless.LimitedNB:
-		cs = coherence.LimitedNB
-	case limitless.LimitLESS:
-		cs = coherence.LimitLESS
-	case limitless.SoftwareOnly:
-		cs = coherence.SoftwareOnly
-	case limitless.PrivateOnly:
-		cs = coherence.PrivateOnly
-	case limitless.Chained:
-		cs = coherence.Chained
+	info, ok := protocol.ByName(string(s))
+	if !ok {
+		return 0
 	}
-	return machine.BitsPerEntry(cs, nodes, pointers)
+	return machine.BitsPerEntry(info.ID, nodes, pointers)
 }
 
 // Bar is one bar of an execution-time chart.

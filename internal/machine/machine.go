@@ -135,7 +135,7 @@ func New(cfg Config) *Machine {
 	if cfg.CacheLines == 0 {
 		cfg.CacheLines = 4096
 	}
-	if cfg.Params.Scheme == coherence.SoftwareOnly {
+	if cfg.Params.Scheme.Info().TrapDefault {
 		cfg.Params.DefaultMeta = directory.TrapAlways
 	}
 
@@ -214,11 +214,10 @@ func (m *Machine) buildNode(id mesh.NodeID) *Node {
 
 	// Default trap handler by scheme. Every node gets a mux so extensions
 	// can bind special handlers even on hardware-only schemes (profiling).
-	switch cfg.Params.Scheme {
-	case coherence.SoftwareOnly:
+	if cfg.Params.Scheme.Info().TrapDefault {
 		node.SWFull = swdir.NewSoftware(mc)
 		node.Handler = swdir.NewMux(node.SWFull)
-	default:
+	} else {
 		node.SW = swdir.New(mc)
 		node.Handler = swdir.NewMux(node.SW)
 	}

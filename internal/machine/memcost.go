@@ -38,28 +38,30 @@ func log2up(n int) int {
 }
 
 // bitsPerEntry returns the hardware directory cost of one entry for the
-// given scheme on an n-node machine with p hardware pointers.
+// given scheme on an n-node machine with p hardware pointers, derived from
+// the scheme's registry facts.
 func bitsPerEntry(scheme coherence.Scheme, n, p int) int {
+	info := scheme.Info()
 	state := 2           // Table 1: four memory states
 	ack := log2up(n + 1) // acknowledgment counter
 	ptr := log2up(n)     // one node pointer
-	switch scheme {
-	case coherence.FullMap:
-		return n + state + ack // presence bit per processor
-	case coherence.LimitedNB:
-		return p*ptr + state + ack
-	case coherence.LimitLESS, coherence.SoftwareOnly:
-		meta := 2 // Table 4: four meta states ("the two bits required")
-		local := 1
-		return p*ptr + state + ack + meta + local
-	case coherence.PrivateOnly:
+	switch {
+	case info.SharedUncached:
 		return state // no pointers tracked
-	case coherence.Chained:
+	case info.ChainedList:
 		// Head pointer at memory; the per-cache next pointers live in the
 		// caches and scale with cache size, not memory size.
 		return ptr + state + ack
+	case info.FullMapStorage:
+		return n + state + ack // presence bit per processor
 	default:
-		return 0
+		cost := p*ptr + state + ack
+		if info.SoftwareExtended {
+			meta := 2 // Table 4: four meta states ("the two bits required")
+			local := 1
+			cost += meta + local
+		}
+		return cost
 	}
 }
 

@@ -1,0 +1,168 @@
+// Package protocol is the declarative guarded-action layer underneath the
+// coherence controllers. A coherence scheme is described, not coded: each
+// scheme contributes rows to a transition table — (directory state, meta
+// state, incoming message, guard) → action on the memory side, (transaction
+// state, message, guard) → action on the cache side — and the controllers
+// are thin interpreters that look up and execute rows. The shape follows
+// the Guarded Action Language treatment of MESI coherence (Meunier et al.,
+// arXiv:1803.10323) and BlackParrot's BedRock tables (arXiv:2211.06390):
+// because the protocol is data, it can be checked — Check proves every
+// (state, meta, message) triple is either handled by a row or explicitly
+// declared impossible — and observed, via the per-row coverage counters.
+//
+// The package also owns the scheme registry: the single definition of the
+// six directory organizations that the public API, the CLI tools, the
+// experiments and the test harnesses all consume.
+package protocol
+
+// SchemeID identifies a registered coherence scheme. The values are the
+// directory organizations the paper evaluates.
+type SchemeID uint8
+
+const (
+	// FullMap is the Censier-Feautrier full-map directory: one presence
+	// bit per processor per block. Memory O(N²), never overflows.
+	FullMap SchemeID = iota
+	// LimitedNB is Dir_iNB: i hardware pointers, no broadcast; pointer
+	// overflow evicts a previously cached copy.
+	LimitedNB
+	// LimitLESS is the paper's contribution: i hardware pointers, with
+	// overflow handled by a software trap that extends the directory into
+	// local memory.
+	LimitLESS
+	// SoftwareOnly puts every directory entry in Trap-Always mode: all
+	// coherence handled by the processor (the m=1 limit of Section 3.1,
+	// the "migration path toward interrupt-driven cache coherence").
+	SoftwareOnly
+	// PrivateOnly caches only data tagged private by the workload; shared
+	// references are uncached round trips (an ASIM baseline, Section 5.1).
+	PrivateOnly
+	// Chained distributes the pointer list through the caches as a linked
+	// list (SCI-style [9]); invalidations traverse the list sequentially.
+	Chained
+
+	numSchemes
+)
+
+// NumSchemes is the number of registered schemes, for indexed tables.
+const NumSchemes = int(numSchemes)
+
+// SchemeInfo is one registry entry: the scheme's identity plus the
+// configuration facts the rest of the system needs (pointer requirements,
+// storage shape, default meta state) so they are stated once instead of
+// being re-derived by switch statements at every consumer.
+type SchemeInfo struct {
+	// ID is the scheme's stable identifier.
+	ID SchemeID
+	// Name is the public string form ("full-map", "limitless", ...): the
+	// value of the string-typed Scheme in the top-level API and the
+	// -scheme flag of the CLI tools.
+	Name string
+	// NeedsPointers reports whether Params.Pointers must be >= 1 (the i of
+	// Dir_iNB and LimitLESS_i).
+	NeedsPointers bool
+	// DefaultPointers is the pointer count experiments use when they want
+	// the paper's typical configuration (0 when pointers are ignored).
+	DefaultPointers int
+	// FullMapStorage selects an unbounded bit vector for the per-entry
+	// pointer set instead of a limited hardware array.
+	FullMapStorage bool
+	// SharedUncached marks the private-data-only baseline: shared
+	// references bypass the cache as uncached round trips.
+	SharedUncached bool
+	// TrapDefault puts fresh directory entries in Trap-Always meta state,
+	// so every protocol packet is handled in software.
+	TrapDefault bool
+	// SoftwareExtended marks schemes whose directory entries can be handed
+	// to a software handler: their hardware cost includes the Table 4 meta
+	// state bits and the Local Bit, and their nodes need a trap handler.
+	SoftwareExtended bool
+	// ChainedList marks the linked-list directory: read data carries a
+	// next pointer and invalidations walk the chain through the caches.
+	ChainedList bool
+	// Doc is a one-line description for -list-schemes output.
+	Doc string
+}
+
+// registry is the single source of truth for the schemes. Order matches
+// the SchemeID values.
+var registry = [NumSchemes]SchemeInfo{
+	{
+		ID: FullMap, Name: "full-map",
+		FullMapStorage: true,
+		Doc:            "full-map directory (Dir_NNB): one presence bit per processor, never overflows",
+	},
+	{
+		ID: LimitedNB, Name: "limited",
+		NeedsPointers: true, DefaultPointers: 4,
+		Doc: "limited directory (Dir_iNB): i hardware pointers, overflow evicts a copy",
+	},
+	{
+		ID: LimitLESS, Name: "limitless",
+		NeedsPointers: true, DefaultPointers: 4, SoftwareExtended: true,
+		Doc: "LimitLESS_i: i hardware pointers, overflow traps to a software handler",
+	},
+	{
+		ID: SoftwareOnly, Name: "software-only",
+		NeedsPointers: true, DefaultPointers: 1, TrapDefault: true, SoftwareExtended: true,
+		Doc: "all-software coherence: every protocol packet is trapped (the m=1 limit)",
+	},
+	{
+		ID: PrivateOnly, Name: "private-only",
+		FullMapStorage: true, SharedUncached: true,
+		Doc: "private-data caching only: shared references are uncached round trips",
+	},
+	{
+		ID: Chained, Name: "chained",
+		NeedsPointers: true, DefaultPointers: 1, ChainedList: true,
+		Doc: "chained (SCI-style) directory: sharing list linked through the caches",
+	},
+}
+
+// Schemes returns every registered scheme in SchemeID order.
+func Schemes() []SchemeInfo {
+	out := make([]SchemeInfo, NumSchemes)
+	copy(out, registry[:])
+	return out
+}
+
+// ByName resolves a public scheme name.
+func ByName(name string) (SchemeInfo, bool) {
+	for _, info := range registry {
+		if info.Name == name {
+			return info, true
+		}
+	}
+	return SchemeInfo{}, false
+}
+
+// Info returns the registry entry for s. Out-of-range IDs return a zero
+// SchemeInfo (whose Name is empty).
+func (s SchemeID) Info() SchemeInfo {
+	if int(s) < NumSchemes {
+		return registry[s]
+	}
+	return SchemeInfo{ID: s}
+}
+
+func (s SchemeID) String() string {
+	if int(s) < NumSchemes {
+		return registry[s].Name
+	}
+	return "Scheme(" + itoa(int(s)) + ")"
+}
+
+// itoa avoids pulling fmt into the String fast path.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -33,12 +33,17 @@ import (
 	"limitless/internal/machine"
 	"limitless/internal/mesh"
 	"limitless/internal/proc"
+	"limitless/internal/protocol"
 	"limitless/internal/sim"
 	"limitless/internal/trace"
 	"limitless/internal/workload"
 )
 
-// Scheme selects the directory organization.
+// Scheme selects the directory organization by its registered name. The
+// names are owned by the protocol registry (internal/protocol), which
+// every layer — this API, the CLI tools, the experiments, the test
+// harnesses — consults; the constants below are the registered names, and
+// Schemes enumerates the registry at run time.
 type Scheme string
 
 // The coherence schemes the library implements.
@@ -60,23 +65,97 @@ const (
 	Chained Scheme = "chained"
 )
 
-func (s Scheme) internal() (coherence.Scheme, error) {
-	switch s {
-	case FullMap:
-		return coherence.FullMap, nil
-	case LimitedNB:
-		return coherence.LimitedNB, nil
-	case LimitLESS, "":
-		return coherence.LimitLESS, nil
-	case SoftwareOnly:
-		return coherence.SoftwareOnly, nil
-	case PrivateOnly:
-		return coherence.PrivateOnly, nil
-	case Chained:
-		return coherence.Chained, nil
-	default:
+// resolveScheme maps the public name onto its registry entry. The empty
+// string defaults to LimitLESS, the paper's protocol.
+func resolveScheme(s Scheme) (coherence.Scheme, error) {
+	if s == "" {
+		s = LimitLESS
+	}
+	info, ok := protocol.ByName(string(s))
+	if !ok {
 		return 0, fmt.Errorf("limitless: unknown scheme %q", s)
 	}
+	return info.ID, nil
+}
+
+// SchemeInfo describes one registered coherence scheme.
+type SchemeInfo struct {
+	// Scheme is the registered name, usable directly in Config.Scheme.
+	Scheme Scheme
+	// Doc is a one-line description of the directory organization.
+	Doc string
+	// NeedsPointers reports whether the scheme requires Config.Pointers
+	// >= 1 (the i of Dir_iNB and LimitLESS_i).
+	NeedsPointers bool
+	// DefaultPointers is the customary pointer count for the scheme
+	// (0 when pointers are ignored).
+	DefaultPointers int
+}
+
+// Schemes lists every registered coherence scheme, in registry order.
+func Schemes() []SchemeInfo {
+	infos := protocol.Schemes()
+	out := make([]SchemeInfo, len(infos))
+	for i, info := range infos {
+		out[i] = SchemeInfo{
+			Scheme:          Scheme(info.Name),
+			Doc:             info.Doc,
+			NeedsPointers:   info.NeedsPointers,
+			DefaultPointers: info.DefaultPointers,
+		}
+	}
+	return out
+}
+
+// CheckProtocolTables runs the static transition-table checker over every
+// registered scheme and returns one line per defect. An empty result is
+// the proof that each (directory state, meta state, message) triple on the
+// memory side, and each (transaction state, message) pair on the cache
+// side, is either handled by a table row or explicitly declared
+// impossible, that every row is reachable, and that no impossibility
+// declaration is dead.
+func CheckProtocolTables() []string {
+	probs := coherence.CheckTables()
+	out := make([]string, len(probs))
+	for i, p := range probs {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// RowCoverage reports one transition-table row's hit count from the
+// runtime coverage recorder (see EnableTransitionCoverage).
+type RowCoverage struct {
+	// Table names the owning table: "<scheme>/memory" or "<scheme>/cache".
+	Table string
+	// Row is the row's stable ID, e.g. "ro-rreq-grant".
+	Row string
+	// Keys renders the row's match keys, e.g. "Read-Only/*/RREQ".
+	Keys string
+	// Doc is the row's one-line description.
+	Doc string
+	// Count is the number of times the row fired since the last reset.
+	Count uint64
+}
+
+// EnableTransitionCoverage toggles the per-row hit counters on every
+// scheme's transition tables. The counters are atomic, so the toggle and
+// the counting are safe while simulations run (including on the sharded
+// engine and under Sweep).
+func EnableTransitionCoverage(on bool) { coherence.SetTableCoverage(on) }
+
+// ResetTransitionCoverage zeroes the coverage counters.
+func ResetTransitionCoverage() { coherence.ResetTableCoverage() }
+
+// TransitionCoverage returns every transition-table row with its current
+// hit count, grouped by table.
+func TransitionCoverage() []RowCoverage {
+	rows := coherence.TableCoverage()
+	out := make([]RowCoverage, len(rows))
+	for i, r := range rows {
+		out[i] = RowCoverage{Table: r.Table, Row: r.Row, Keys: r.Keys, Doc: r.Doc, Count: r.Count}
+	}
+	return out
 }
 
 // Addr is a block address in the simulated machine's shared memory.
@@ -204,7 +283,7 @@ func (c Config) build() (*machine.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	scheme, err := c.Scheme.internal()
+	scheme, err := resolveScheme(c.Scheme)
 	if err != nil {
 		return nil, err
 	}

@@ -11,10 +11,27 @@
 # `simcycles_s` and `allocs_per_op` fields of matching points in
 # successive files.
 #
-# Usage: scripts/bench.sh [extra go-test args...]
+# With -compare FILE, the new point is additionally diffed against the
+# named earlier BENCH_*.json: for every benchmark present in both files
+# the simcycles/s regression must stay within BENCH_TOLERANCE_PCT
+# (default 5%) or the script exits non-zero; speedups are reported but
+# never fail. Use it to gate a refactor:
+#
+#   scripts/bench.sh                          # before: records the baseline
+#   ... refactor ...
+#   scripts/bench.sh -compare BENCH_<old>.json   # after: enforces ±5%
+#
+# Usage: scripts/bench.sh [-compare BENCH_old.json] [extra go-test args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+compare=""
+if [ "${1:-}" = "-compare" ]; then
+    compare=$2
+    shift 2
+    [ -f "$compare" ] || { echo "bench.sh: no such baseline: $compare" >&2; exit 1; }
+fi
 
 stamp=$(date -u +%Y%m%dT%H%M%SZ)
 out=$(mktemp)
@@ -86,3 +103,30 @@ END {
 echo
 echo "wrote BENCH_${stamp}.json:"
 cat "BENCH_${stamp}.json"
+
+if [ -n "$compare" ]; then
+    echo
+    echo "comparing against $compare (regression tolerance ${BENCH_TOLERANCE_PCT:-5}%):"
+    # The JSON is written by this script, so the "key": value layout is
+    # fixed; pull (benchmark, simcycles_s) pairs with awk rather than
+    # requiring a JSON tool.
+    awk -v tol="${BENCH_TOLERANCE_PCT:-5}" '
+    function val(s) { gsub(/[",]/, "", s); return s }
+    /"benchmark":/ { name = val($2) }
+    /"simcycles_s":/ {
+        if (FILENAME == ARGV[1]) old[name] = val($2) + 0
+        else                     new[name] = val($2) + 0
+    }
+    END {
+        status = 0
+        for (b in old) {
+            if (!(b in new)) { printf "  %-40s missing from new run\n", b; continue }
+            delta = (new[b] - old[b]) * 100.0 / old[b]
+            verdict = "ok"
+            if (delta > tol) verdict = "ok (faster)"
+            if (delta < -tol) { verdict = "FAIL"; status = 1 }
+            printf "  %-40s %12.0f -> %12.0f  %+6.1f%%  %s\n", b, old[b], new[b], delta, verdict
+        }
+        exit status
+    }' "$compare" "BENCH_${stamp}.json"
+fi
