@@ -154,7 +154,18 @@ func BenchmarkAblationUpdateModeProducerConsumer(b *testing.B) {
 // --- Simulator throughput (engineering metric, not a paper figure) ---
 
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4}
+	benchThroughput(b, "")
+}
+
+// BenchmarkSimulatorThroughputHeap is the same run on the binary-heap
+// oracle scheduler: the wheel-vs-heap gap on a whole simulation, measured
+// on the identical (bit-identical, by construction) workload.
+func BenchmarkSimulatorThroughputHeap(b *testing.B) {
+	benchThroughput(b, "heap")
+}
+
+func benchThroughput(b *testing.B, sched string) {
+	cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4, Scheduler: sched}
 	var cycles int64
 	for i := 0; i < b.N; i++ {
 		res, err := limitless.Run(cfg, limitless.Weather(benchProcs))

@@ -6,7 +6,7 @@
 //	alewife [-scheme limitless] [-pointers 4] [-ts 50] [-procs 64]
 //	        [-workload weather|weather-opt|multigrid|synthetic|migratory|locks|prodcons]
 //	        [-workerset 8] [-contexts 1] [-trace file] [-verify]
-//	        [-shards 0] [-shard-workers 0]
+//	        [-shards 0] [-shard-workers 0] [-sched wheel|heap]
 //	        [-faults seed:key=value,...] [-watchdog cycles]
 //	        [-cpuprofile file] [-memprofile file]
 //	alewife -list-schemes
@@ -35,6 +35,7 @@ var (
 	verifyFlag   = flag.Bool("verify", false, "run the coherence checker after the workload finishes")
 	shardsFlag   = flag.Int("shards", 0, "run on the windowed sharded engine with this many mesh tiles (0 = sequential engine)")
 	shardWFlag   = flag.Int("shard-workers", 0, "goroutines executing shards concurrently (0 = GOMAXPROCS; never changes results)")
+	schedFlag    = flag.String("sched", "wheel", "event scheduler: wheel (O(1) timing wheel, default) or heap (binary-heap oracle; never changes results)")
 	faultsFlag   = flag.String("faults", "", "deterministic fault injection, \"seed:key=value,...\" (keys: delay, delaymax, dup, dupdelay, stall, stallperiod, stallcycles, trap, trapextra)")
 	watchdogFlag = flag.Int64("watchdog", 0, "halt with a diagnostic dump after this many cycles without forward progress (0 = off)")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -90,6 +91,7 @@ func main() {
 		Verify:         *verifyFlag,
 		Shards:         *shardsFlag,
 		ShardWorkers:   *shardWFlag,
+		Scheduler:      *schedFlag,
 		Faults:         *faultsFlag,
 		WatchdogCycles: *watchdogFlag,
 	}
@@ -176,6 +178,9 @@ func main() {
 		cfg.Procs, cfg.Scheme, cfg.Pointers, cfg.TrapService, maxInt(cfg.Contexts, 1))
 	if cfg.Shards > 0 {
 		fmt.Printf("engine:    windowed sharded, %d shards\n", cfg.Shards)
+	}
+	if cfg.Scheduler != "" && cfg.Scheduler != "wheel" {
+		fmt.Printf("scheduler: %s (results identical to the default wheel)\n", cfg.Scheduler)
 	}
 	if faultSpec != "" {
 		fmt.Printf("faults:    %s\n", faultSpec)

@@ -48,6 +48,12 @@ type Config struct {
 	// DisableEventPool turns off engine event recycling (cross-checking
 	// and memory debugging only; results are identical either way).
 	DisableEventPool bool
+	// Scheduler selects the engines' pending-event structure: the default
+	// timing wheel (sim.SchedWheel) or the binary-heap fallback
+	// (sim.SchedHeap). Both fire events in identical (time, sequence)
+	// order, so cycle counts are bit-identical under either; the heap
+	// exists as a cross-check oracle.
+	Scheduler sim.SchedulerKind
 	// Shards, when positive, runs the simulation on the windowed sharded
 	// engine: nodes are split into Shards contiguous tiles, each with its
 	// own event heap, executed concurrently in conservative time windows
@@ -161,6 +167,7 @@ func New(cfg Config) *Machine {
 		m.engines = make([]*sim.Engine, k)
 		for i := range m.engines {
 			e := sim.New()
+			e.SetScheduler(cfg.Scheduler)
 			e.SetCycleSeq(true)
 			if cfg.DisableEventPool {
 				e.SetPooling(false)
@@ -180,6 +187,7 @@ func New(cfg Config) *Machine {
 			func(limit sim.Time) { m.Net.FlushWindow(limit) }, cfg.ShardWorkers)
 	} else {
 		eng := sim.New()
+		eng.SetScheduler(cfg.Scheduler)
 		if cfg.DisableEventPool {
 			eng.SetPooling(false)
 		}

@@ -1,20 +1,25 @@
 // Package sim provides the deterministic discrete-event simulation engine
 // that underlies the Alewife machine model.
 //
-// The engine maintains a priority queue of events ordered by (time, sequence
-// number). Because ties are broken by the order in which events were
-// scheduled, a simulation run is fully deterministic: the same configuration
-// always produces the same event interleaving and therefore the same cycle
+// The engine maintains pending events ordered by (time, sequence number).
+// Because ties are broken by the order in which events were scheduled, a
+// simulation run is fully deterministic: the same configuration always
+// produces the same event interleaving and therefore the same cycle
 // counts. Determinism is what lets the test suite assert exact execution
 // times and lets the protocol model checker replay interleavings.
 //
-// The engine is built for throughput: fired and cancelled events are
-// recycled through a free list, so steady-state scheduling performs no heap
-// allocation, and the closure-free AtHandler path lets hot callers avoid
-// allocating a closure per event as well. Because event objects are reused,
-// the scheduling APIs hand out EventRef values — generation-checked handles
-// that keep Cancel and Scheduled safe against a recycled event's next
-// incarnation.
+// The engine is built for throughput: the default scheduler is a timing
+// wheel — a ring of per-cycle buckets sized to the near-future horizon
+// with an overflow tier beyond it — so scheduling, cancellation, and
+// dispatch are O(1), whole cycles dispatch as batches, and the clock jumps
+// straight over dead cycles (see wheel.go; a binary-heap scheduler remains
+// selectable as the cross-check oracle). Fired and cancelled events are
+// recycled through a free list, so steady-state scheduling performs no
+// heap allocation, and the closure-free AtHandler path lets hot callers
+// avoid allocating a closure per event as well. Because event objects are
+// reused, the scheduling APIs hand out EventRef values — generation-checked
+// handles that keep Cancel and Scheduled safe against a recycled event's
+// next incarnation.
 //
 // Time is measured in processor clock cycles (the paper reports all results
 // in cycles of the 33 MHz SPARCLE clock).
@@ -44,8 +49,9 @@ type Handler interface {
 type Event struct {
 	at    Time
 	seq   uint64
-	index int    // heap index; -1 when not queued
+	index int    // position in its container (bucket slot or heap index); -1 when not queued
 	gen   uint64 // incarnation counter; bumped on every release
+	loc   uint8  // wheel tier holding the event (locRing / locOverflow)
 	fn    func()
 	h     Handler
 	arg   any
@@ -66,24 +72,29 @@ func (r EventRef) Scheduled() bool {
 	return r.ev != nil && r.ev.gen == r.gen && r.ev.index >= 0
 }
 
-// Time returns the cycle at which the event fires, or -1 if the handle is
-// stale (fired, cancelled, or zero).
-func (r EventRef) Time() Time {
+// Time returns the cycle at which the event fires. ok is false when the
+// handle is stale (fired, cancelled, or zero) — every Time value, including
+// negative ones, is representable, so staleness is reported out of band
+// rather than through an in-band sentinel.
+func (r EventRef) Time() (t Time, ok bool) {
 	if !r.Scheduled() {
-		return -1
+		return 0, false
 	}
-	return r.ev.at
+	return r.ev.at, true
 }
 
 // Engine is a deterministic discrete-event scheduler.
 //
-// The zero value is ready to use. Engine is not safe for concurrent use;
-// one simulation runs on one goroutine. Run many engines in parallel for
-// parameter sweeps.
+// The zero value is ready to use (with the timing-wheel scheduler). Engine
+// is not safe for concurrent use; one simulation runs on one goroutine.
+// Run many engines in parallel for parameter sweeps.
 type Engine struct {
 	now       Time
 	seq       uint64
-	queue     []*Event
+	wh        wheel
+	heap      eventHeap
+	useHeap   bool
+	queued    int
 	processed uint64
 	free      []*Event // recycled events; see SetPooling
 	noPool    bool
@@ -95,8 +106,36 @@ type Engine struct {
 	cycleCtr uint32
 }
 
-// New returns an engine with the clock at cycle 0.
-func New() *Engine { return &Engine{} }
+// New returns an engine with the clock at cycle 0, using the timing-wheel
+// scheduler. Call SetScheduler to select the heap fallback.
+func New() *Engine {
+	e := &Engine{}
+	e.wh.init()
+	return e
+}
+
+// SetScheduler selects the pending-event data structure. Both schedulers
+// fire events in identical (time, sequence) order, so results are
+// bit-identical under either; the heap exists as a cross-check oracle and
+// fallback. Switch only while the queue is empty — migrating pending
+// events between structures is not supported.
+func (e *Engine) SetScheduler(k SchedulerKind) {
+	if e.queued > 0 {
+		panic("sim: SetScheduler with events pending")
+	}
+	e.useHeap = k == SchedHeap
+	if !e.useHeap {
+		e.wh.init()
+	}
+}
+
+// Scheduler returns the active scheduler kind.
+func (e *Engine) Scheduler() SchedulerKind {
+	if e.useHeap {
+		return SchedHeap
+	}
+	return SchedWheel
+}
 
 // SetPooling enables or disables event recycling. Pooling is on by default;
 // disabling it makes every schedule allocate a fresh Event, which is useful
@@ -124,9 +163,9 @@ const (
 // execution requires cycle tagging on every participating engine so that
 // same-deadline tie-breaks are invariant under the shard partition. Switch
 // only while the queue is empty; mixing the two numbering schemes in one
-// heap would compare unrelated keys.
+// queue would compare unrelated keys.
 func (e *Engine) SetCycleSeq(on bool) {
-	if len(e.queue) > 0 {
+	if e.queued > 0 {
 		panic("sim: SetCycleSeq with events pending")
 	}
 	e.cycleSeq = on
@@ -158,15 +197,20 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queued }
 
 // NextEventTime returns the deadline of the earliest pending event. ok is
-// false when the queue is empty.
+// false when the queue is empty. On the wheel this is an O(1) occupancy-
+// bitmap probe, which is what lets guarded runs and the sharded window
+// driver skip dead cycles without touching individual events.
 func (e *Engine) NextEventTime() (t Time, ok bool) {
-	if len(e.queue) == 0 {
-		return 0, false
+	if e.useHeap {
+		if len(e.heap) == 0 {
+			return 0, false
+		}
+		return e.heap[0].at, true
 	}
-	return e.queue[0].at, true
+	return e.wh.next()
 }
 
 // allocEvent takes an event from the free list (or the heap allocator) and
@@ -204,6 +248,16 @@ func (e *Engine) alloc(t Time) *Event {
 	return ev
 }
 
+// enqueue files a stamped event with the active scheduler.
+func (e *Engine) enqueue(ev *Event) {
+	if e.useHeap {
+		e.heap.push(ev)
+	} else {
+		e.wh.schedule(ev)
+	}
+	e.queued++
+}
+
 // release retires an event incarnation: stale handles stop matching, the
 // callback state is dropped, and the object returns to the free list.
 func (e *Engine) release(ev *Event) {
@@ -221,7 +275,7 @@ func (e *Engine) release(ev *Event) {
 func (e *Engine) At(t Time, fn func()) EventRef {
 	ev := e.alloc(t)
 	ev.fn = fn
-	e.push(ev)
+	e.enqueue(ev)
 	return EventRef{ev, ev.gen}
 }
 
@@ -239,7 +293,7 @@ func (e *Engine) AtHandler(t Time, h Handler, arg any) EventRef {
 	ev := e.alloc(t)
 	ev.h = h
 	ev.arg = arg
-	e.push(ev)
+	e.enqueue(ev)
 	return EventRef{ev, ev.gen}
 }
 
@@ -248,7 +302,9 @@ func (e *Engine) AtHandler(t Time, h Handler, arg any) EventRef {
 // barriers use this to insert cross-shard deliveries under a WindowSeq key
 // so that tie-breaking is identical across shard partitions. Keys must be
 // cycle-tagged (the engine must be in SetCycleSeq mode) and unique per
-// (t, seq) within this engine.
+// (t, seq) within this engine, and calls may only happen between windows —
+// never from inside an event callback — so a key below an already-fired
+// same-cycle event cannot occur.
 func (e *Engine) AtHandlerSeq(t Time, seq uint64, h Handler, arg any) EventRef {
 	if !e.cycleSeq {
 		panic("sim: AtHandlerSeq on an engine without cycle-tagged sequencing")
@@ -257,7 +313,7 @@ func (e *Engine) AtHandlerSeq(t Time, seq uint64, h Handler, arg any) EventRef {
 	ev.seq = seq
 	ev.h = h
 	ev.arg = arg
-	e.push(ev)
+	e.enqueue(ev)
 	return EventRef{ev, ev.gen}
 }
 
@@ -276,7 +332,12 @@ func (e *Engine) Cancel(r EventRef) {
 	if !r.Scheduled() {
 		return
 	}
-	e.remove(r.ev.index)
+	if e.useHeap {
+		e.heap.removeAt(r.ev.index)
+	} else {
+		e.wh.remove(r.ev)
+	}
+	e.queued--
 	e.release(r.ev)
 }
 
@@ -285,10 +346,14 @@ func (e *Engine) Cancel(r EventRef) {
 // recycled before the callback runs, so the callback can immediately
 // schedule into the freed slot.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if !e.useHeap {
+		return e.stepWheel()
+	}
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := e.pop()
+	ev := e.heap.pop()
+	e.queued--
 	e.now = ev.at
 	e.processed++
 	fn, h, arg := ev.fn, ev.h, ev.arg
@@ -302,18 +367,19 @@ func (e *Engine) Step() bool {
 }
 
 // Run executes events until the queue drains and returns the final time.
-func (e *Engine) Run() Time {
-	for e.Step() {
-	}
-	return e.now
-}
+func (e *Engine) Run() Time { return e.RunUntil(Forever) }
 
 // RunUntil executes events with deadlines at or before limit. Events
 // scheduled beyond limit stay queued. It returns the time of the last
 // executed event (or the unchanged clock when nothing ran). The clock never
-// advances past limit.
+// advances past limit. On the wheel this is the batch-dispatch hot path:
+// whole per-cycle buckets drain without consulting the queue head between
+// events, and the clock jumps directly to each next non-empty cycle.
 func (e *Engine) RunUntil(limit Time) Time {
-	for len(e.queue) > 0 && e.queue[0].at <= limit {
+	if !e.useHeap {
+		return e.runWheel(limit)
+	}
+	for len(e.heap) > 0 && e.heap[0].at <= limit {
 		e.Step()
 	}
 	return e.now
@@ -322,101 +388,8 @@ func (e *Engine) RunUntil(limit Time) Time {
 // RunWhile executes events for as long as cond returns true and events
 // remain. cond is evaluated before each event.
 func (e *Engine) RunWhile(cond func() bool) Time {
-	for len(e.queue) > 0 && cond() {
+	for e.queued > 0 && cond() {
 		e.Step()
 	}
 	return e.now
-}
-
-// --- binary heap over (at, seq), specialized to avoid interface dispatch ---
-
-// less orders events by deadline, ties broken by schedule order.
-func less(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(ev *Event) {
-	ev.index = len(e.queue)
-	e.queue = append(e.queue, ev)
-	e.siftUp(ev.index)
-}
-
-func (e *Engine) pop() *Event {
-	q := e.queue
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q[0].index = 0
-	q[n] = nil
-	e.queue = q[:n]
-	if n > 0 {
-		e.siftDown(0)
-	}
-	top.index = -1
-	return top
-}
-
-// remove deletes the event at heap position i.
-func (e *Engine) remove(i int) {
-	q := e.queue
-	n := len(q) - 1
-	ev := q[i]
-	if i != n {
-		q[i] = q[n]
-		q[i].index = i
-	}
-	q[n] = nil
-	e.queue = q[:n]
-	if i != n {
-		if !e.siftDown(i) {
-			e.siftUp(i)
-		}
-	}
-	ev.index = -1
-}
-
-func (e *Engine) siftUp(i int) {
-	q := e.queue
-	ev := q[i]
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !less(ev, q[parent]) {
-			break
-		}
-		q[i] = q[parent]
-		q[i].index = i
-		i = parent
-	}
-	q[i] = ev
-	ev.index = i
-}
-
-// siftDown moves the event at i toward the leaves; it reports whether the
-// event moved.
-func (e *Engine) siftDown(i int) bool {
-	q := e.queue
-	n := len(q)
-	ev := q[i]
-	start := i
-	for {
-		child := 2*i + 1
-		if child >= n {
-			break
-		}
-		if r := child + 1; r < n && less(q[r], q[child]) {
-			child = r
-		}
-		if !less(q[child], ev) {
-			break
-		}
-		q[i] = q[child]
-		q[i].index = i
-		i = child
-	}
-	q[i] = ev
-	ev.index = i
-	return i > start
 }

@@ -71,11 +71,11 @@ func TestPoolRecycledEventAliasing(t *testing.T) {
 	if old.Scheduled() {
 		t.Fatal("old incarnation reports scheduled after its object was recycled")
 	}
-	if old.Time() != -1 {
-		t.Fatalf("stale handle Time() = %d, want -1", old.Time())
+	if _, ok := old.Time(); ok {
+		t.Fatal("stale handle Time() reports ok")
 	}
-	if got := fresh.Time(); got != 10 {
-		t.Fatalf("fresh handle Time() = %d, want 10", got)
+	if got, ok := fresh.Time(); !ok || got != 10 {
+		t.Fatalf("fresh handle Time() = %d, %v, want 10, true", got, ok)
 	}
 	// Cancelling through the stale handle must not cancel the new event.
 	e.Cancel(old)

@@ -231,6 +231,14 @@ type Config struct {
 	// assert it); the switch exists for that cross-check and for memory
 	// debugging, not for normal use.
 	DisableEventPool bool
+	// Scheduler selects the engine's pending-event structure: "wheel" (the
+	// default; an O(1) timing wheel of per-cycle buckets with an overflow
+	// tier, per-cycle batch dispatch, and dead-cycle skipping) or "heap"
+	// (the O(log n) binary heap kept as a cross-check oracle). Both fire
+	// events in identical (time, sequence) order, so every cycle count is
+	// bit-identical under either scheduler — the determinism tests assert
+	// it; the choice affects only wall-clock speed.
+	Scheduler string
 	// Faults is a deterministic fault-injection spec, "seed:key=value,...".
 	// Keys: delay/delaymax (per-packet delivery jitter), dup/dupdelay
 	// (duplicate deliveries), stall/stallperiod/stallcycles (link stall
@@ -300,8 +308,12 @@ func (c Config) build() (*machine.Machine, error) {
 	if contexts <= 0 {
 		contexts = 1
 	}
+	sched, err := sim.ParseScheduler(c.Scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("limitless: bad Scheduler: %w", err)
+	}
 	mc := machine.Config{Width: w, Height: h, Contexts: contexts, Params: params, CacheWays: c.CacheWays,
-		DisableEventPool: c.DisableEventPool, Shards: c.Shards, ShardWorkers: c.ShardWorkers,
+		DisableEventPool: c.DisableEventPool, Scheduler: sched, Shards: c.Shards, ShardWorkers: c.ShardWorkers,
 		Watchdog: sim.Time(c.WatchdogCycles)}
 	if c.Faults != "" {
 		fcfg, err := fault.Parse(c.Faults)

@@ -7,10 +7,12 @@ import (
 )
 
 // TestEventPoolDeterminism is the whole-machine counterpart of the engine's
-// pool determinism test: event recycling must not change a single cycle of
-// a full simulation. It runs Weather and Multigrid under LimitLESS(4) with
-// the event pool on and off and requires every result field that reflects
-// protocol behaviour to match exactly.
+// pool determinism test: neither event recycling, nor the scheduler data
+// structure, nor cycle-tagged sequencing (alone or via the sharded engine)
+// may change a single cycle of a full simulation. It runs Weather and
+// Multigrid under LimitLESS(4) across the pooling x scheduler x cycle-seq
+// matrix and requires every result field that reflects protocol behaviour
+// to match the baseline exactly.
 func TestEventPoolDeterminism(t *testing.T) {
 	workloads := []struct {
 		name string
@@ -22,21 +24,42 @@ func TestEventPoolDeterminism(t *testing.T) {
 	for _, wl := range workloads {
 		wl := wl
 		t.Run(wl.name, func(t *testing.T) {
-			cfg := limitless.Config{Procs: 16, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50, Verify: true}
-			pooled, err := limitless.Run(cfg, wl.mk(16))
+			base := limitless.Config{Procs: 16, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50, Verify: true}
+			baseline, err := limitless.Run(base, wl.mk(16))
 			if err != nil {
 				t.Fatal(err)
 			}
-			cfg.DisableEventPool = true
-			plain, err := limitless.Run(cfg, wl.mk(16))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if pooled.Cycles != plain.Cycles {
-				t.Fatalf("event pool changed cycle count: pooled=%d unpooled=%d", pooled.Cycles, plain.Cycles)
-			}
-			if pooled != plain {
-				t.Fatalf("event pool changed results:\npooled:   %+v\nunpooled: %+v", pooled, plain)
+			// Shards > 1 turns on cycle-tagged sequencing (and its own
+			// deterministic barrier order), so its cycle count differs from
+			// the sequential baseline by design; within the sharded arm the
+			// pooling and scheduler axes must still agree exactly.
+			var shardBaseline *limitless.Result
+			for _, pool := range []bool{true, false} {
+				for _, sched := range []string{"wheel", "heap"} {
+					for _, shards := range []int{0, 2} {
+						cfg := base
+						cfg.DisableEventPool = !pool
+						cfg.Scheduler = sched
+						cfg.Shards = shards
+						cfg.ShardWorkers = 1
+						res, err := limitless.Run(cfg, wl.mk(16))
+						if err != nil {
+							t.Fatalf("pool=%v sched=%s shards=%d: %v", pool, sched, shards, err)
+						}
+						want := baseline
+						if shards > 0 {
+							if shardBaseline == nil {
+								r := res
+								shardBaseline = &r
+							}
+							want = *shardBaseline
+						}
+						if res != want {
+							t.Fatalf("pool=%v sched=%s shards=%d changed results:\ngot:  %+v\nwant: %+v",
+								pool, sched, shards, res, want)
+						}
+					}
+				}
 			}
 		})
 	}

@@ -2,14 +2,17 @@
 # bench.sh — measure simulator throughput and record a trajectory point.
 #
 # Runs BenchmarkSimulatorThroughput (the sequential 64-processor LimitLESS(4)
-# Weather run in bench_test.go) and BenchmarkShardedThroughput/shards-4 (the
-# same machine on the windowed sharded engine) five times each with
-# allocation stats, prints the raw `go test -bench` output, and writes a
+# Weather run in bench_test.go), its binary-heap-scheduler twin
+# BenchmarkSimulatorThroughputHeap, and BenchmarkShardedThroughput/shards-4
+# (the same machine on the windowed sharded engine) five times each with
+# allocation stats, plus the scheduler microbenchmarks in internal/sim
+# (BenchmarkSchedule, BenchmarkFireDrain: wheel vs heap, near vs far
+# deadline mixes), prints the raw `go test -bench` output, and writes a
 # BENCH_<utc-timestamp>.json file in the repo root summarizing the best
-# iteration of each as one trajectory point per engine. Keeping one JSON
-# file per run builds a throughput trajectory across PRs: compare the
-# `simcycles_s` and `allocs_per_op` fields of matching points in
-# successive files.
+# iteration of each as one trajectory point per benchmark (each tagged with
+# the scheduler it ran on). Keeping one JSON file per run builds a
+# throughput trajectory across PRs: compare the `simcycles_s` and
+# `allocs_per_op` fields of matching points in successive files.
 #
 # With -compare FILE, the new point is additionally diffed against the
 # named earlier BENCH_*.json: for every benchmark present in both files
@@ -39,13 +42,17 @@ trap 'rm -f "$out"' EXIT
 
 go test -run '^$' -bench='SimulatorThroughput|ShardedThroughput/shards-4$' \
     -benchmem -count=5 "$@" . | tee "$out"
+go test -run '^$' -bench='Schedule|FireDrain' \
+    -benchmem -count=3 "$@" ./internal/sim | tee -a "$out"
 
 # Benchmark lines look like:
 #   BenchmarkSimulatorThroughput-8         1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
 #   BenchmarkShardedThroughput/shards-4-8  1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
-# Take the best (max simcycles/s) iteration per benchmark; allocs and bytes
-# are deterministic per run so any line's values serve. ShardWorkers is 0 in
-# bench_test.go, meaning the worker pool sizes itself to GOMAXPROCS.
+#   BenchmarkFireDrain/wheel/near-8  16989  21082 ns/op  48572774 events/s  21 B/op  0 allocs/op
+# Take the best (max simcycles/s or events/s) iteration per benchmark;
+# allocs and bytes are deterministic per run so any line's values serve.
+# ShardWorkers is 0 in bench_test.go, meaning the worker pool sizes itself
+# to GOMAXPROCS.
 awk -v stamp="$stamp" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v gover="$(go env GOVERSION)" \
@@ -60,27 +67,31 @@ BEGIN {
 }
 function flush_point() {
     if (name == "") return
-    shards = 0; workers = 1; engine = "sequential"
+    shards = 0; workers = 1; engine = "sequential"; sched = "wheel"
     if (match(name, /shards-[0-9]+/)) {
         shards = substr(name, RSTART + 7, RLENGTH - 7) + 0
         workers = maxprocs + 0
         engine = "windowed-sharded"
     }
+    if (name ~ /^(Schedule|FireDrain)/) engine = "scheduler-micro"
+    if (name ~ /Heap$/ || name ~ /\/heap\//) sched = "heap"
     if (np++) printf ",\n"
     printf "    {\n"
     printf "      \"benchmark\": \"%s\",\n", name
     printf "      \"engine\": \"%s\",\n", engine
+    printf "      \"scheduler\": \"%s\",\n", sched
     printf "      \"shards\": %d,\n", shards
     printf "      \"workers\": %d,\n", workers
     printf "      \"iterations\": %d,\n", n
     printf "      \"simcycles_s\": %.0f,\n", best
+    printf "      \"events_per_s\": %.0f,\n", evps
     printf "      \"ns_per_op\": %.0f,\n", nsop
     printf "      \"bytes_per_op\": %.0f,\n", bytes
     printf "      \"allocs_per_op\": %.0f\n", allocs
     printf "    }"
-    best = 0; nsop = 0; n = 0
+    best = 0; nsop = 0; n = 0; evps = 0
 }
-/^Benchmark(SimulatorThroughput|ShardedThroughput)/ {
+/^Benchmark(SimulatorThroughput|ShardedThroughput|Schedule|FireDrain)/ {
     # Strip the trailing -GOMAXPROCS suffix Go appends when GOMAXPROCS > 1.
     bench = $1
     sub(/^Benchmark/, "", bench)
@@ -88,6 +99,7 @@ function flush_point() {
     if (bench != name) { flush_point(); name = bench }
     for (i = 1; i <= NF; i++) {
         if ($i == "simcycles/s" && $(i-1) + 0 > best) best = $(i-1) + 0
+        if ($i == "events/s" && $(i-1) + 0 > evps) evps = $(i-1) + 0
         if ($i == "allocs/op") allocs = $(i-1) + 0
         if ($i == "B/op") bytes = $(i-1) + 0
         if ($i == "ns/op" && (nsop == 0 || $(i-1) + 0 < nsop)) nsop = $(i-1) + 0
@@ -121,6 +133,9 @@ if [ -n "$compare" ]; then
         status = 0
         for (b in old) {
             if (!(b in new)) { printf "  %-40s missing from new run\n", b; continue }
+            # Microbenchmark points carry simcycles_s 0; they are recorded
+            # for the trajectory but not gated.
+            if (old[b] <= 0) continue
             delta = (new[b] - old[b]) * 100.0 / old[b]
             verdict = "ok"
             if (delta > tol) verdict = "ok (faster)"
