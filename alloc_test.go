@@ -1,0 +1,41 @@
+package limitless_test
+
+// Allocation-regression gate for the sequential engine's hot path. The
+// zero-alloc work (message arenas, MSHR free lists, pooled cache line
+// arrays, hoisted workload continuations) brought the benchmark Weather
+// run from ~114k allocations per simulation down to under 20k; this test
+// pins the steady state so an accidental per-event or per-message
+// allocation (each fires hundreds of thousands of times per run) shows up
+// as a tier-1 failure rather than a silent throughput regression.
+
+import (
+	"testing"
+
+	limitless "limitless"
+)
+
+// allocCeiling is the allowed steady-state allocation count for one
+// sequential 64-processor LimitLESS(4) Weather run — the configuration of
+// BenchmarkSimulatorThroughput. Measured ~17k after the zero-alloc work
+// (dominated by per-thread workload setup and network buffers); the
+// ceiling leaves headroom for benign drift while staying far below the
+// ~114k of the pre-arena simulator, and orders of magnitude below the
+// ~150k events per run that a per-event allocation would cost.
+const allocCeiling = 30000
+
+func TestSequentialAllocRegression(t *testing.T) {
+	cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4}
+	run := func() {
+		if _, err := limitless.Run(cfg, limitless.Weather(benchProcs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the line-array pool and engine free lists
+	allocs := testing.AllocsPerRun(3, run)
+	t.Logf("steady-state allocations per run: %.0f (ceiling %d)", allocs, allocCeiling)
+	if allocs > allocCeiling {
+		t.Errorf("sequential Weather run allocates %.0f times, above the pinned ceiling %d; "+
+			"something on the per-event or per-message path has started allocating",
+			allocs, allocCeiling)
+	}
+}

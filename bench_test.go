@@ -154,27 +154,38 @@ func BenchmarkAblationUpdateModeProducerConsumer(b *testing.B) {
 // --- Simulator throughput (engineering metric, not a paper figure) ---
 
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	benchThroughput(b, "")
+	benchThroughput(b, "", "")
 }
 
 // BenchmarkSimulatorThroughputHeap is the same run on the binary-heap
 // oracle scheduler: the wheel-vs-heap gap on a whole simulation, measured
 // on the identical (bit-identical, by construction) workload.
 func BenchmarkSimulatorThroughputHeap(b *testing.B) {
-	benchThroughput(b, "heap")
+	benchThroughput(b, "heap", "")
 }
 
-func benchThroughput(b *testing.B, sched string) {
-	cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4, Scheduler: sched}
+// BenchmarkSimulatorThroughputInterp is the same run on the interpreted
+// protocol tables (the compiled dispatch's oracle): the compiled-vs-interp
+// gap on a whole simulation, again on a bit-identical workload.
+func BenchmarkSimulatorThroughputInterp(b *testing.B) {
+	benchThroughput(b, "", "interp")
+}
+
+func benchThroughput(b *testing.B, sched, tableMode string) {
+	cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4,
+		Scheduler: sched, TableMode: tableMode}
 	var cycles int64
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := limitless.Run(cfg, limitless.Weather(benchProcs))
 		if err != nil {
 			b.Fatal(err)
 		}
 		cycles += res.Cycles
+		events += res.Events
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkShardedThroughput measures the windowed sharded engine on the
@@ -189,14 +200,17 @@ func BenchmarkShardedThroughput(b *testing.B) {
 		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
 			cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4, Shards: shards}
 			var cycles int64
+			var events uint64
 			for i := 0; i < b.N; i++ {
 				res, err := limitless.Run(cfg, limitless.Weather(benchProcs))
 				if err != nil {
 					b.Fatal(err)
 				}
 				cycles += res.Cycles
+				events += res.Events
 			}
 			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
 }

@@ -7,6 +7,7 @@
 //	        [-workload weather|weather-opt|multigrid|synthetic|migratory|locks|prodcons]
 //	        [-workerset 8] [-contexts 1] [-trace file] [-verify]
 //	        [-shards 0] [-shard-workers 0] [-sched wheel|heap]
+//	        [-table-mode compiled|interp]
 //	        [-faults seed:key=value,...] [-watchdog cycles]
 //	        [-cpuprofile file] [-memprofile file]
 //	alewife -list-schemes
@@ -36,6 +37,7 @@ var (
 	shardsFlag   = flag.Int("shards", 0, "run on the windowed sharded engine with this many mesh tiles (0 = sequential engine)")
 	shardWFlag   = flag.Int("shard-workers", 0, "goroutines executing shards concurrently (0 = GOMAXPROCS; never changes results)")
 	schedFlag    = flag.String("sched", "wheel", "event scheduler: wheel (O(1) timing wheel, default) or heap (binary-heap oracle; never changes results)")
+	tableFlag    = flag.String("table-mode", "compiled", "protocol table dispatch: compiled (generated direct-threaded code, default) or interp (declarative-table oracle; never changes results)")
 	faultsFlag   = flag.String("faults", "", "deterministic fault injection, \"seed:key=value,...\" (keys: delay, delaymax, dup, dupdelay, stall, stallperiod, stallcycles, trap, trapextra)")
 	watchdogFlag = flag.Int64("watchdog", 0, "halt with a diagnostic dump after this many cycles without forward progress (0 = off)")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -92,6 +94,7 @@ func main() {
 		Shards:         *shardsFlag,
 		ShardWorkers:   *shardWFlag,
 		Scheduler:      *schedFlag,
+		TableMode:      *tableFlag,
 		Faults:         *faultsFlag,
 		WatchdogCycles: *watchdogFlag,
 	}
@@ -181,6 +184,9 @@ func main() {
 	}
 	if cfg.Scheduler != "" && cfg.Scheduler != "wheel" {
 		fmt.Printf("scheduler: %s (results identical to the default wheel)\n", cfg.Scheduler)
+	}
+	if cfg.TableMode != "" && cfg.TableMode != "compiled" {
+		fmt.Printf("tables:    %s dispatch (results identical to the default compiled)\n", cfg.TableMode)
 	}
 	if faultSpec != "" {
 		fmt.Printf("faults:    %s\n", faultSpec)

@@ -1,0 +1,35 @@
+// Command tablegen regenerates internal/coherence/tables_compiled.go, the
+// direct-threaded dispatch compiled from the declarative protocol tables.
+// It is wired to `go generate ./internal/coherence`; CI regenerates and
+// fails on any diff, so the emitted dispatch can never drift from the
+// registry.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"limitless/internal/coherence"
+)
+
+func main() {
+	src, err := coherence.GenerateCompiledTables()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
+	// go:generate runs with the package directory as cwd; when invoked from
+	// the repo root instead, aim at the package explicitly.
+	out := "tables_compiled.go"
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	} else if _, err := os.Stat("tables.go"); err != nil {
+		out = filepath.Join("internal", "coherence", "tables_compiled.go")
+	}
+	if err := os.WriteFile(out, src, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tablegen: wrote %s (%d bytes)\n", out, len(src))
+}

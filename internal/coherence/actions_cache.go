@@ -100,10 +100,10 @@ func cacheInvalidate(c *cacheCtx) {
 	value, dirty, present := cc.cache.Invalidate(m.Addr)
 	delete(cc.chainNext, m.Addr)
 	if present && dirty {
-		cc.send(c.src, &Msg{Type: UPDATE, Addr: m.Addr, Value: value, Next: -1})
+		cc.send(c.src, cc.newMsg(Msg{Type: UPDATE, Addr: m.Addr, Value: value, Next: -1}))
 		return
 	}
-	cc.send(c.src, &Msg{Type: ACKC, Addr: m.Addr, Next: -1, Evict: m.Evict})
+	cc.send(c.src, cc.newMsg(Msg{Type: ACKC, Addr: m.Addr, Next: -1, Evict: m.Evict}))
 }
 
 // cacheBusyRetry re-sends the transaction's request after the bounded
@@ -136,7 +136,7 @@ func cacheChainWalk(c *cacheCtx) {
 	stack := cc.chainNext[m.Addr]
 	if len(stack) == 0 {
 		// Defensive: a walk reached a cache with no recorded position.
-		cc.send(cc.home(m.Addr), &Msg{Type: ACKC, Addr: m.Addr, Next: -1})
+		cc.send(cc.home(m.Addr), cc.newMsg(Msg{Type: ACKC, Addr: m.Addr, Next: -1}))
 		return
 	}
 	next := stack[0]
@@ -146,11 +146,11 @@ func cacheChainWalk(c *cacheCtx) {
 		cc.chainNext[m.Addr] = stack[1:]
 	}
 	if next >= 0 {
-		cc.send(next, &Msg{Type: CINV, Addr: m.Addr, Next: -1})
+		cc.send(next, cc.newMsg(Msg{Type: CINV, Addr: m.Addr, Next: -1}))
 		return
 	}
 	// Tail of the list: acknowledge to the home.
-	cc.send(cc.home(m.Addr), &Msg{Type: ACKC, Addr: m.Addr, Next: -1})
+	cc.send(cc.home(m.Addr), cc.newMsg(Msg{Type: ACKC, Addr: m.Addr, Next: -1}))
 }
 
 // cacheUncachedData completes an uncached read with the UDATA value.

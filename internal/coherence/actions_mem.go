@@ -76,7 +76,7 @@ func guardAckUnderflow(c *memCtx) bool { return c.e.AckCtr <= 0 }
 // memBusy bounces a request with BUSY; the requester retries.
 func memBusy(c *memCtx) {
 	c.mc.stats.Busies++
-	c.mc.Send(c.src, &Msg{Type: BUSY, Addr: c.m.Addr, Next: -1})
+	c.mc.Send(c.src, c.mc.newMsg(Msg{Type: BUSY, Addr: c.m.Addr, Next: -1}))
 }
 
 // memDefer queues a non-retriable packet behind the Trans-In-Progress
@@ -101,7 +101,7 @@ func memTrap(c *memCtx) { c.mc.forwardToSoftware(c.src, c.m, c.e) }
 
 // memUncachedRead answers an uncached read round trip.
 func memUncachedRead(c *memCtx) {
-	c.mc.Send(c.src, &Msg{Type: UDATA, Addr: c.m.Addr, Value: c.e.Value, Next: -1})
+	c.mc.Send(c.src, c.mc.newMsg(Msg{Type: UDATA, Addr: c.m.Addr, Value: c.e.Value, Next: -1}))
 }
 
 // memUncachedWrite applies an uncached write (or atomic read-modify-write)
@@ -114,7 +114,7 @@ func memUncachedWrite(c *memCtx) {
 	} else {
 		e.Value = m.Value
 	}
-	c.mc.Send(c.src, &Msg{Type: UACK, Addr: m.Addr, Value: old, Next: -1})
+	c.mc.Send(c.src, c.mc.newMsg(Msg{Type: UACK, Addr: m.Addr, Value: old, Next: -1}))
 }
 
 // --- Read-Only transitions (Table 2, transitions 1-3) ---
@@ -126,7 +126,7 @@ func memReadGrant(c *memCtx) {
 	mc, e := c.mc, c.e
 	mc.addSharer(e, c.src)
 	e.NoteSharers(e.Sharers())
-	mc.Send(c.src, &Msg{Type: RDATA, Addr: c.m.Addr, Value: e.Value, Next: -1})
+	mc.Send(c.src, mc.newMsg(Msg{Type: RDATA, Addr: c.m.Addr, Value: e.Value, Next: -1}))
 }
 
 // memReadEvict handles pointer overflow the Dir_iNB way: evict a victim's
@@ -138,8 +138,8 @@ func memReadEvict(c *memCtx) {
 	e.Ptrs.Remove(victim)
 	e.Ptrs.Add(c.src)
 	mc.stats.Evictions++
-	mc.Send(victim, &Msg{Type: INV, Addr: c.m.Addr, Next: -1, Evict: true})
-	mc.Send(c.src, &Msg{Type: RDATA, Addr: c.m.Addr, Value: e.Value, Next: -1})
+	mc.Send(victim, mc.newMsg(Msg{Type: INV, Addr: c.m.Addr, Next: -1, Evict: true}))
+	mc.Send(c.src, mc.newMsg(Msg{Type: RDATA, Addr: c.m.Addr, Value: e.Value, Next: -1}))
 }
 
 // memReadOverflowTrap handles pointer overflow the LimitLESS way: count it
@@ -161,10 +161,10 @@ func memWriteGrant(c *memCtx) {
 	e.State = directory.ReadWrite
 	e.Chain = 0
 	if mc.params.ModifyGrant && hadCopy {
-		mc.Send(c.src, &Msg{Type: MODG, Addr: c.m.Addr, Next: -1})
+		mc.Send(c.src, mc.newMsg(Msg{Type: MODG, Addr: c.m.Addr, Next: -1}))
 		return
 	}
-	mc.Send(c.src, &Msg{Type: WDATA, Addr: c.m.Addr, Value: e.Value, Next: -1})
+	mc.Send(c.src, mc.newMsg(Msg{Type: WDATA, Addr: c.m.Addr, Value: e.Value, Next: -1}))
 }
 
 // memWriteInvalidate is Transition 3: invalidate every other copy, await
@@ -177,7 +177,7 @@ func memWriteInvalidate(c *memCtx) {
 	n := 0
 	for _, k := range sh {
 		if k != c.src {
-			mc.Send(k, &Msg{Type: INV, Addr: c.m.Addr, Next: -1})
+			mc.Send(k, mc.newMsg(Msg{Type: INV, Addr: c.m.Addr, Next: -1}))
 			n++
 		}
 	}
@@ -202,14 +202,14 @@ func memStartReadTxn(c *memCtx) {
 	e.State = directory.ReadTransaction
 	mc.clearSharers(e)
 	e.Ptrs.Add(c.src)
-	mc.Send(owner, &Msg{Type: INV, Addr: c.m.Addr, Next: -1})
+	mc.Send(owner, mc.newMsg(Msg{Type: INV, Addr: c.m.Addr, Next: -1}))
 }
 
 // memOwnerRegrant recovers from a lost modify grant: the owner's read copy
 // was displaced while its upgrade was in flight, so it never received
 // data. Memory still holds the current value.
 func memOwnerRegrant(c *memCtx) {
-	c.mc.Send(c.src, &Msg{Type: WDATA, Addr: c.m.Addr, Value: c.e.Value, Next: -1})
+	c.mc.Send(c.src, c.mc.newMsg(Msg{Type: WDATA, Addr: c.m.Addr, Value: c.e.Value, Next: -1}))
 }
 
 // memStartWriteTxn is Transition 4: invalidate the owner, enter
@@ -223,7 +223,7 @@ func memStartWriteTxn(c *memCtx) {
 	e.AckCtr = 1
 	mc.clearSharers(e)
 	e.Ptrs.Add(c.src)
-	mc.Send(owner, &Msg{Type: INV, Addr: c.m.Addr, Next: -1})
+	mc.Send(owner, mc.newMsg(Msg{Type: INV, Addr: c.m.Addr, Next: -1}))
 }
 
 // memWriteback is Transition 6: the owner writes the block back; the entry
@@ -274,11 +274,22 @@ func memWTUpdate(c *memCtx) {
 	}
 }
 
-// memBugRow builds an action that reports an explicitly-modelled protocol
-// violation (the rows the old code expressed as protocolBug calls).
-func memBugRow(label string) func(*memCtx) {
-	return func(c *memCtx) { c.mc.protocolBug(label, c.src, c.m) }
-}
+// The memBug* actions report explicitly-modelled protocol violations (the
+// rows the old code expressed as protocolBug calls). They are named
+// top-level functions — not a closure factory — so the table compiler can
+// resolve each row's action to a symbol it can emit a direct call to.
+
+// memBugOwnerRREQ reports an owner re-reading before its REPM arrived.
+func memBugOwnerRREQ(c *memCtx) { c.mc.protocolBug("Read-Write(owner-RREQ)", c.src, c.m) }
+
+// memBugForeignREPM reports a writeback from a non-owner.
+func memBugForeignREPM(c *memCtx) { c.mc.protocolBug("Read-Write(foreign-REPM)", c.src, c.m) }
+
+// memBugAckUnderflow reports an ACKC with no invalidation outstanding.
+func memBugAckUnderflow(c *memCtx) { c.mc.protocolBug("Write-Transaction(ack-underflow)", c.src, c.m) }
+
+// memBugUpdateUnderflow reports an UPDATE with no invalidation outstanding.
+func memBugUpdateUnderflow(c *memCtx) { c.mc.protocolBug("Write-Transaction(update-underflow)", c.src, c.m) }
 
 // --- row assembly helpers shared by the policy modules ---
 
@@ -366,7 +377,7 @@ func memReadWriteRows() []memRow {
 	return []memRow{
 		{State: stRW, Meta: anyKey, Msg: anyKey, ID: "rw-bad-owner", Guard: guardOwnerMalformed, Action: memOwnerViolation,
 			Doc: "corrupt entry: Read-Write without exactly one pointer; record violation, drop"},
-		{State: stRW, Meta: anyKey, Msg: uint8(RREQ), ID: "rw-rreq-owner", Guard: guardFromOwner, Action: memBugRow("Read-Write(owner-RREQ)"),
+		{State: stRW, Meta: anyKey, Msg: uint8(RREQ), ID: "rw-rreq-owner", Guard: guardFromOwner, Action: memBugOwnerRREQ,
 			Doc: "owner re-reading before its REPM arrived: unreachable under in-order delivery"},
 		{State: stRW, Meta: anyKey, Msg: uint8(RREQ), ID: "rw-rreq", Action: memStartReadTxn,
 			Doc: "transition 5: INV to owner, enter Read-Transaction, await UPDATE"},
@@ -374,7 +385,7 @@ func memReadWriteRows() []memRow {
 			Doc: "lost-modify-grant recovery: re-send WDATA to the recorded owner"},
 		{State: stRW, Meta: anyKey, Msg: uint8(WREQ), ID: "rw-wreq", Action: memStartWriteTxn,
 			Doc: "transition 4: INV to owner, enter Write-Transaction, await UPDATE/ACKC"},
-		{State: stRW, Meta: anyKey, Msg: uint8(REPM), ID: "rw-repm-foreign", Guard: guardNotFromOwner, Action: memBugRow("Read-Write(foreign-REPM)"),
+		{State: stRW, Meta: anyKey, Msg: uint8(REPM), ID: "rw-repm-foreign", Guard: guardNotFromOwner, Action: memBugForeignREPM,
 			Doc: "writeback from a non-owner: protocol violation"},
 		{State: stRW, Meta: anyKey, Msg: uint8(REPM), ID: "rw-repm", Action: memWriteback,
 			Doc: "transition 6: owner writes back; entry becomes uncached Read-Only"},
@@ -409,11 +420,11 @@ func memWriteTxnRows() []memRow {
 			Doc: "transition 7: request during write transaction bounces with BUSY"},
 		{State: stWT, Meta: anyKey, Msg: uint8(REPM), ID: "wt-repm-absorb", Action: memAbsorbData,
 			Doc: "previous owner's eviction crossed our INV: absorb data, await the ack"},
-		{State: stWT, Meta: anyKey, Msg: uint8(ACKC), ID: "wt-ackc-underflow", Guard: guardAckUnderflow, Action: memBugRow("Write-Transaction(ack-underflow)"),
+		{State: stWT, Meta: anyKey, Msg: uint8(ACKC), ID: "wt-ackc-underflow", Guard: guardAckUnderflow, Action: memBugAckUnderflow,
 			Doc: "acknowledgment with no invalidation outstanding: protocol violation"},
 		{State: stWT, Meta: anyKey, Msg: uint8(ACKC), ID: "wt-ackc", Action: memWTAck,
 			Doc: "transition 7/8: count the acknowledgment; last one grants WDATA"},
-		{State: stWT, Meta: anyKey, Msg: uint8(UPDATE), ID: "wt-update-underflow", Guard: guardAckUnderflow, Action: memBugRow("Write-Transaction(update-underflow)"),
+		{State: stWT, Meta: anyKey, Msg: uint8(UPDATE), ID: "wt-update-underflow", Guard: guardAckUnderflow, Action: memBugUpdateUnderflow,
 			Doc: "data return with no invalidation outstanding: protocol violation"},
 		{State: stWT, Meta: anyKey, Msg: uint8(UPDATE), ID: "wt-update", Action: memWTUpdate,
 			Doc: "transition 8: dirty data returns, counts as the acknowledgment"},

@@ -121,7 +121,11 @@ type CacheController struct {
 	home   Placement
 
 	cache *cache.Cache
-	txns  map[directory.Addr]*txn
+	// txns is the MSHR table: outstanding miss transactions, at most one
+	// per block. It is a linear-scan slice rather than a map — a node
+	// rarely has more than a couple of misses in flight (one per processor
+	// context), so the scan beats map hashing on the dispatch hot path.
+	txns []txnEntry
 	// chainNext holds this cache's next pointers for the chained scheme,
 	// one stack entry per list position this cache occupies. A cache can
 	// occupy several positions: when its line is displaced it keeps the
@@ -145,14 +149,52 @@ type CacheController struct {
 	sendH     txnSendHandler
 	compH     completionHandler
 	freeComps []*completion
+	freeTxns  []*txn
+	arena     msgArena
 
-	// tbl is the scheme's cache-side transition table; HandleMem interprets
-	// it. sharedUncached caches SchemeInfo.SharedUncached (the private-only
-	// baseline routes shared references around the cache), and cctx is the
-	// reusable dispatch scratch context.
+	// tbl is the scheme's cache-side transition table. fastTbl, when
+	// non-nil, is the generated direct-threaded dispatcher for the same
+	// table (TableCompiled); HandleMem falls back to interpreting tbl when
+	// it is nil. sharedUncached caches SchemeInfo.SharedUncached (the
+	// private-only baseline routes shared references around the cache), and
+	// cctx is the reusable dispatch scratch context.
 	tbl            *protocol.Table[cacheCtx]
+	fastTbl        cacheDispatch
 	sharedUncached bool
 	cctx           cacheCtx
+}
+
+// txnEntry is one MSHR slot.
+type txnEntry struct {
+	addr directory.Addr
+	t    *txn
+}
+
+// findTxn returns the outstanding transaction for addr, or nil.
+func (cc *CacheController) findTxn(addr directory.Addr) *txn {
+	for i := range cc.txns {
+		if cc.txns[i].addr == addr {
+			return cc.txns[i].t
+		}
+	}
+	return nil
+}
+
+// removeTxn deletes addr's MSHR slot, returning its transaction (nil when
+// absent). Slot order carries no protocol meaning, so the last entry is
+// swapped into the hole.
+func (cc *CacheController) removeTxn(addr directory.Addr) *txn {
+	for i := range cc.txns {
+		if cc.txns[i].addr == addr {
+			t := cc.txns[i].t
+			last := len(cc.txns) - 1
+			cc.txns[i] = cc.txns[last]
+			cc.txns[last] = txnEntry{}
+			cc.txns = cc.txns[:last]
+			return t
+		}
+	}
+	return nil
 }
 
 // txnSendHandler sends (or re-sends) a transaction's request to its home.
@@ -192,13 +234,15 @@ func NewCacheController(eng *sim.Engine, nw NetPort, id mesh.NodeID, params Para
 		params:     params,
 		home:       home,
 		cache:      c,
-		txns:       make(map[directory.Addr]*txn, 16),
 		chainNext:  make(map[directory.Addr][]mesh.NodeID),
 		updateMode: make(map[directory.Addr]bool),
 	}
 	cc.sendH = txnSendHandler{cc}
 	cc.compH = completionHandler{cc}
 	cc.tbl = policyFor(params.Scheme).cache
+	if params.TableMode == TableCompiled {
+		cc.fastTbl = compiledFor(params.Scheme).cache
+	}
 	cc.sharedUncached = params.Scheme.Info().SharedUncached
 	cc.cctx.cc = cc
 	return cc
@@ -240,8 +284,8 @@ func (cc *CacheController) OutstandingOps() []OutstandingOp {
 		return nil
 	}
 	ops := make([]OutstandingOp, 0, len(cc.txns))
-	for addr, t := range cc.txns {
-		ops = append(ops, OutstandingOp{Addr: addr, Type: t.msg.Type, Issued: t.issued, Retries: t.retries})
+	for _, e := range cc.txns {
+		ops = append(ops, OutstandingOp{Addr: e.addr, Type: e.t.msg.Type, Issued: e.t.issued, Retries: e.t.retries})
 	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Addr < ops[j].Addr })
 	return ops
@@ -268,6 +312,24 @@ func (cc *CacheController) protocolBug(context string, src mesh.NodeID, m *Msg) 
 func (cc *CacheController) send(dst mesh.NodeID, m *Msg) {
 	cc.stats.Sent[m.Type]++
 	cc.nw.SendFrom(cc.id, dst, m.Flits(cc.params.BlockWords), m)
+}
+
+// newMsg builds an outgoing message in the controller's bump arena.
+func (cc *CacheController) newMsg(m Msg) *Msg { return cc.arena.newMsg(m) }
+
+// newTxn takes an MSHR record from the free list (or the heap) and stamps
+// it with the primary request and issue time.
+func (cc *CacheController) newTxn(req Request) *txn {
+	var t *txn
+	if n := len(cc.freeTxns); n > 0 {
+		t = cc.freeTxns[n-1]
+		cc.freeTxns[n-1] = nil
+		cc.freeTxns = cc.freeTxns[:n-1]
+	} else {
+		t = &txn{}
+	}
+	t.req, t.issued = req, cc.eng.Now()
+	return t
 }
 
 // SetUpdateMode registers (or clears) addr as an update-mode block. Stores
@@ -300,7 +362,9 @@ func (cc *CacheController) Access(req Request) Outcome {
 		return cc.uncached(req)
 	}
 	// Update-mode stores carry their value to the home's software handler.
-	if req.Op == Store && cc.updateMode[req.Addr] {
+	// The len guard keeps the map lookup off the hot path for the common
+	// case of no registered update-mode blocks.
+	if req.Op == Store && len(cc.updateMode) != 0 && cc.updateMode[req.Addr] {
 		return cc.uncached(req)
 	}
 
@@ -330,34 +394,34 @@ func (cc *CacheController) Access(req Request) Outcome {
 	}
 
 	// Miss: join an existing transaction for the block or start one.
-	if t, ok := cc.txns[req.Addr]; ok {
+	if t := cc.findTxn(req.Addr); t != nil {
 		t.queued = append(t.queued, req)
 		return cc.missOutcome(req.Addr)
 	}
-	t := &txn{req: req, issued: cc.eng.Now()}
+	t := cc.newTxn(req)
 	if req.Op == Load {
-		t.msg = &Msg{Type: RREQ, Addr: req.Addr, Next: -1}
+		t.msg = cc.newMsg(Msg{Type: RREQ, Addr: req.Addr, Next: -1})
 	} else {
-		t.msg = &Msg{Type: WREQ, Addr: req.Addr, Next: -1}
+		t.msg = cc.newMsg(Msg{Type: WREQ, Addr: req.Addr, Next: -1})
 	}
-	cc.txns[req.Addr] = t
+	cc.txns = append(cc.txns, txnEntry{req.Addr, t})
 	cc.eng.AfterHandler(hitTime, &cc.sendH, t)
 	return cc.missOutcome(req.Addr)
 }
 
 // uncached performs a round trip to the home memory module without caching.
 func (cc *CacheController) uncached(req Request) Outcome {
-	if t, ok := cc.txns[req.Addr]; ok {
+	if t := cc.findTxn(req.Addr); t != nil {
 		t.queued = append(t.queued, req)
 		return cc.missOutcome(req.Addr)
 	}
-	t := &txn{req: req, issued: cc.eng.Now()}
+	t := cc.newTxn(req)
 	if req.Op == Load {
-		t.msg = &Msg{Type: URREQ, Addr: req.Addr, Next: -1}
+		t.msg = cc.newMsg(Msg{Type: URREQ, Addr: req.Addr, Next: -1})
 	} else {
-		t.msg = &Msg{Type: UWREQ, Addr: req.Addr, Value: req.Value, Next: -1, Modify: req.Modify}
+		t.msg = cc.newMsg(Msg{Type: UWREQ, Addr: req.Addr, Value: req.Value, Next: -1, Modify: req.Modify})
 	}
-	cc.txns[req.Addr] = t
+	cc.txns = append(cc.txns, txnEntry{req.Addr, t})
 	cc.miss.UncachedTrips++
 	cc.eng.AfterHandler(cc.params.Timing.CacheHit, &cc.sendH, t)
 	return cc.missOutcome(req.Addr)
@@ -382,11 +446,10 @@ func (cc *CacheController) complete(req Request, value uint64, after sim.Time) {
 // finish closes the transaction for addr, delivers the primary value, and
 // replays any references that queued behind the miss.
 func (cc *CacheController) finish(addr directory.Addr, value uint64) {
-	t := cc.txns[addr]
+	t := cc.removeTxn(addr)
 	if t == nil {
 		panic(fmt.Sprintf("coherence: node %d finishing unknown transaction %#x", cc.id, addr))
 	}
-	delete(cc.txns, addr)
 
 	elapsed := cc.eng.Now() - t.issued
 	if cc.home(addr) == cc.id {
@@ -401,6 +464,19 @@ func (cc *CacheController) finish(addr directory.Addr, value uint64) {
 	for _, q := range t.queued {
 		cc.Access(q)
 	}
+	// Recycle the MSHR record. Safe here, after the replay loop: the record
+	// left cc.txns above, so no replayed Access can have claimed it yet, and
+	// under in-order point-to-point delivery no sendH event can still be
+	// pending when the response that triggered finish has arrived. Clearing
+	// queued entries drops their Done/Modify closures.
+	for i := range t.queued {
+		t.queued[i] = Request{}
+	}
+	t.queued = t.queued[:0]
+	t.req = Request{}
+	t.msg = nil
+	t.retries = 0
+	cc.freeTxns = append(cc.freeTxns, t)
 }
 
 // fill installs a block delivered by RDATA/WDATA and sends REPM for any
@@ -410,7 +486,7 @@ func (cc *CacheController) finish(addr directory.Addr, value uint64) {
 func (cc *CacheController) fill(addr directory.Addr, st cache.LineState, value uint64) {
 	victim, displaced := cc.cache.Fill(addr, st, value)
 	if displaced && victim.State == cache.ReadWrite {
-		cc.send(cc.home(victim.Addr), &Msg{Type: REPM, Addr: victim.Addr, Value: victim.Value, Next: -1})
+		cc.send(cc.home(victim.Addr), cc.newMsg(Msg{Type: REPM, Addr: victim.Addr, Value: victim.Value, Next: -1}))
 	}
 }
 
@@ -429,11 +505,17 @@ func (cc *CacheController) HandleMem(src mesh.NodeID, m *Msg) {
 		cc.stats.DupSuppressed++
 		return
 	}
-	t := cc.txns[m.Addr]
+	t := cc.findTxn(m.Addr)
 	st := txnState(t)
 	c := &cc.cctx
 	c.src, c.m, c.t = src, m, t
-	if v := cc.tbl.Dispatch(st, protocol.Any, uint8(m.Type), c); v != protocol.Matched {
+	var v protocol.Verdict
+	if cc.fastTbl != nil {
+		v = cc.fastTbl(cc.tbl, c, st, uint8(m.Type))
+	} else {
+		v = cc.tbl.Dispatch(st, protocol.Any, uint8(m.Type), c)
+	}
+	if v != protocol.Matched {
 		cc.tableViolation(v, st, src, m)
 	}
 }

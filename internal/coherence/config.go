@@ -1,6 +1,8 @@
 package coherence
 
 import (
+	"fmt"
+
 	"limitless/internal/protocol"
 	"limitless/internal/sim"
 )
@@ -25,6 +27,42 @@ const (
 	// Chained links the sharing list through the caches (SCI-style).
 	Chained = protocol.Chained
 )
+
+// TableMode selects how the controllers execute the protocol tables: the
+// generated direct-threaded dispatch (default) or the declarative table
+// interpreter it was compiled from. The two are bit-identical — the
+// interpreter is kept as the cross-checking oracle, exactly like the
+// binary-heap scheduler backs the timing wheel.
+type TableMode uint8
+
+const (
+	// TableCompiled runs the go:generate'd per-scheme switch dispatch
+	// (tables_compiled.go). The zero value, so it is the default.
+	TableCompiled TableMode = iota
+	// TableInterp runs the protocol.Table interpreter over the registry.
+	TableInterp
+)
+
+// String names the mode as the -table-mode flag spells it.
+func (m TableMode) String() string {
+	if m == TableInterp {
+		return "interp"
+	}
+	return "compiled"
+}
+
+// ParseTableMode parses a -table-mode flag value; "" selects the default
+// compiled dispatch.
+func ParseTableMode(s string) (TableMode, error) {
+	switch s {
+	case "", "compiled":
+		return TableCompiled, nil
+	case "interp":
+		return TableInterp, nil
+	default:
+		return TableCompiled, fmt.Errorf("unknown table mode %q (want compiled or interp)", s)
+	}
+}
 
 // EvictPolicy selects the victim when a limited directory overflows.
 type EvictPolicy uint8

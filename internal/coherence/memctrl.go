@@ -45,6 +45,10 @@ type Params struct {
 	// of this transition that would send a modify grant (MODG), rather
 	// than write data (WDATA)").
 	ModifyGrant bool
+	// TableMode selects compiled (default) or interpreted table dispatch.
+	// The two are bit-identical; interp keeps the declarative tables as a
+	// cross-checking oracle.
+	TableMode TableMode
 }
 
 // DefaultParams returns the paper's baseline configuration: LimitLESS with
@@ -116,12 +120,25 @@ type MemoryController struct {
 	// closure; the (src, msg) pair rides in a pooled procArg.
 	procH     processHandler
 	freeArgs  []*procArg
+	arena     msgArena
 	evictSeed uint64
 
-	// tbl is the scheme's memory-side transition table; process interprets
-	// it. chained caches SchemeInfo.ChainedList for the duplicate-RREQ echo
-	// check, and mctx is the reusable dispatch scratch context.
+	// Reusable sharer-walk buffers. shBuf backs the dispatch context's
+	// memoized sharer list (valid for one dispatch; dispatch never nests),
+	// ownBuf backs the transient walks inside owner and chainedRead, whose
+	// results are consumed before any other walk can run. Keeping them
+	// separate means an action may hold its sharer list across a nested
+	// owner lookup (finishReadTransaction / finishWriteTransaction) safely.
+	shBuf  []mesh.NodeID
+	ownBuf []mesh.NodeID
+
+	// tbl is the scheme's memory-side transition table. fastTbl, when
+	// non-nil, is the generated direct-threaded dispatcher for the same
+	// table (TableCompiled); process falls back to interpreting tbl when it
+	// is nil. chained caches SchemeInfo.ChainedList for the duplicate-RREQ
+	// echo check, and mctx is the reusable dispatch scratch context.
 	tbl     *protocol.Table[memCtx]
+	fastTbl memDispatch
 	chained bool
 	mctx    memCtx
 }
@@ -141,6 +158,22 @@ func (h *processHandler) OnEvent(arg any) {
 	a.msg = nil
 	h.mc.freeArgs = append(h.mc.freeArgs, a)
 	h.mc.process(src, m)
+}
+
+// OnEvents implements sim.BatchHandler: the timing wheel hands this
+// controller every message whose occupancy delay expires in the same cycle
+// through one call — one controller entry per (cycle, node) — instead of
+// one virtual dispatch per message. Processing order is the engine's exact
+// (deadline, sequence) order, so results are identical to OnEvent per arg.
+func (h *processHandler) OnEvents(args []any) {
+	mc := h.mc
+	for _, arg := range args {
+		a := arg.(*procArg)
+		src, m := a.src, a.msg
+		a.msg = nil
+		mc.freeArgs = append(mc.freeArgs, a)
+		mc.process(src, m)
+	}
 }
 
 // NewMemoryController builds the directory side of node id. The sink may
@@ -168,6 +201,9 @@ func NewMemoryController(eng *sim.Engine, nw NetPort, id mesh.NodeID, params Par
 		evictSeed: uint64(id)*2654435761 + 1,
 		tbl:       policyFor(params.Scheme).mem,
 		chained:   info.ChainedList,
+	}
+	if params.TableMode == TableCompiled {
+		mc.fastTbl = compiledFor(params.Scheme).mem
 	}
 	mc.procH = processHandler{mc}
 	mc.mctx.mc = mc
@@ -203,12 +239,8 @@ func (mc *MemoryController) SetRecorder(r *fault.Recorder) { mc.rec = r }
 // entry fetches (or creates) the directory entry for addr, applying the
 // scheme's default meta state to fresh entries.
 func (mc *MemoryController) entry(addr directory.Addr) *directory.Entry {
-	known := true
-	if _, ok := mc.dir.Lookup(addr); !ok {
-		known = false
-	}
-	e := mc.dir.Entry(addr)
-	if !known {
+	e, created := mc.dir.EntryOrCreate(addr)
+	if created {
 		e.Meta = mc.params.DefaultMeta
 	}
 	return e
@@ -224,6 +256,9 @@ func (mc *MemoryController) Send(dst mesh.NodeID, m *Msg) {
 	}
 	mc.nw.SendFrom(mc.id, dst, m.Flits(mc.params.BlockWords), m)
 }
+
+// newMsg builds an outgoing message in the controller's bump arena.
+func (mc *MemoryController) newMsg(m Msg) *Msg { return mc.arena.newMsg(m) }
 
 // cost returns the controller occupancy for processing an incoming message.
 func (mc *MemoryController) cost(t MsgType) sim.Time {
@@ -272,14 +307,20 @@ func (mc *MemoryController) process(src mesh.NodeID, m *Msg) {
 		mc.stats.DupSuppressed++
 		if m.Type == RREQ && e.State == directory.ReadOnly && e.Meta == directory.Normal &&
 			!mc.chained && (e.Ptrs.Contains(src) || (e.Local && src == mc.id)) {
-			mc.Send(src, &Msg{Type: RDATA, Addr: m.Addr, Value: e.Value, Next: -1, Dup: true})
+			mc.Send(src, mc.newMsg(Msg{Type: RDATA, Addr: m.Addr, Value: e.Value, Next: -1, Dup: true}))
 		}
 		return
 	}
 
 	c := &mc.mctx
 	c.reset(src, m, e)
-	if v := mc.tbl.Dispatch(uint8(e.State), uint8(e.Meta), uint8(m.Type), c); v != protocol.Matched {
+	var v protocol.Verdict
+	if mc.fastTbl != nil {
+		v = mc.fastTbl(mc.tbl, c, uint8(e.State), uint8(e.Meta), uint8(m.Type))
+	} else {
+		v = mc.tbl.Dispatch(uint8(e.State), uint8(e.Meta), uint8(m.Type), c)
+	}
+	if v != protocol.Matched {
 		mc.tableViolation(v, e, src, m)
 	}
 }
@@ -331,14 +372,23 @@ func (mc *MemoryController) Release(addr directory.Addr) {
 	}
 }
 
-// sharers lists every cache the directory believes holds the block,
-// including the home processor recorded by the Local Bit.
-func (mc *MemoryController) sharers(e *directory.Entry) []mesh.NodeID {
-	nodes := e.Ptrs.Nodes()
+// sharersInto lists every cache the directory believes holds the block,
+// including the home processor recorded by the Local Bit, appending into
+// the caller's buffer.
+func (mc *MemoryController) sharersInto(buf []mesh.NodeID, e *directory.Entry) []mesh.NodeID {
+	nodes := e.Ptrs.NodesInto(buf[:0])
 	if e.Local {
 		nodes = append(nodes, mc.id)
 	}
 	return nodes
+}
+
+// sharers lists the block's sharers in the controller's dispatch-scoped
+// buffer. The result is valid until the next sharers call — long enough for
+// the dispatch context's memoization, which is its only caller.
+func (mc *MemoryController) sharers(e *directory.Entry) []mesh.NodeID {
+	mc.shBuf = mc.sharersInto(mc.shBuf, e)
+	return mc.shBuf
 }
 
 // addSharer records a read copy at node n, implementing the Local Bit
@@ -394,7 +444,7 @@ func (mc *MemoryController) finishReadTransaction(e *directory.Entry, addr direc
 	if chain {
 		e.Chain = 1
 	}
-	mc.Send(reader, &Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: -1})
+	mc.Send(reader, mc.newMsg(Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: -1}))
 }
 
 func (mc *MemoryController) finishWriteTransaction(e *directory.Entry, addr directory.Addr) {
@@ -406,7 +456,7 @@ func (mc *MemoryController) finishWriteTransaction(e *directory.Entry, addr dire
 	// Reading the block out of memory for the WDATA reply costs a memory
 	// access on top of the message that completed the transaction.
 	mc.ctrl.Claim(mc.eng.Now(), mc.params.Timing.MemAccess)
-	mc.Send(writer, &Msg{Type: WDATA, Addr: addr, Value: e.Value, Next: -1})
+	mc.Send(writer, mc.newMsg(Msg{Type: WDATA, Addr: addr, Value: e.Value, Next: -1}))
 }
 
 // owner returns the single expected member of the pointer set during
@@ -414,7 +464,8 @@ func (mc *MemoryController) finishWriteTransaction(e *directory.Entry, addr dire
 // malformed and a recorder absorbed the violation; callers must then drop
 // the operation they were about to dispatch.
 func (mc *MemoryController) owner(e *directory.Entry) (_ mesh.NodeID, ok bool) {
-	nodes := mc.sharers(e)
+	mc.ownBuf = mc.sharersInto(mc.ownBuf, e)
+	nodes := mc.ownBuf
 	if len(nodes) != 1 {
 		if mc.rec != nil {
 			mc.rec.Record(fault.Violation{
@@ -455,11 +506,12 @@ func (mc *MemoryController) pickVictim(e *directory.Entry) mesh.NodeID {
 func (mc *MemoryController) chainedRead(src mesh.NodeID, e *directory.Entry, addr directory.Addr) {
 	next := mesh.NodeID(-1)
 	if e.Chain > 0 {
-		prev := e.Ptrs.Nodes()
+		mc.ownBuf = e.Ptrs.NodesInto(mc.ownBuf[:0])
+		prev := mc.ownBuf
 		if len(prev) == 1 && prev[0] == src {
 			// Already the head (its line was displaced): resupply the data
 			// without growing the list.
-			mc.Send(src, &Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: ChainResupply})
+			mc.Send(src, mc.newMsg(Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: ChainResupply}))
 			return
 		}
 		if len(prev) == 1 {
@@ -469,5 +521,5 @@ func (mc *MemoryController) chainedRead(src mesh.NodeID, e *directory.Entry, add
 	e.Ptrs.Clear()
 	e.Ptrs.Add(src)
 	e.Chain++
-	mc.Send(src, &Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: next})
+	mc.Send(src, mc.newMsg(Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: next}))
 }

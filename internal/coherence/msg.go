@@ -196,3 +196,30 @@ func (m *Msg) Flits(blockWords int) int {
 func (m *Msg) String() string {
 	return fmt.Sprintf("%s addr=%#x val=%d", m.Type, m.Addr, m.Value)
 }
+
+// msgArenaChunk is the bump-arena granularity: messages per heap allocation.
+const msgArenaChunk = 64
+
+// msgArena bump-allocates protocol messages in chunks. Message lifetimes
+// are unpredictable — deferred queues, transaction records, and the IPI
+// input queue all retain a *Msg past its dispatch — so the arena never
+// recycles: an exhausted chunk is simply dropped and the garbage collector
+// reclaims it once every message in it dies. The win is in allocator
+// pressure alone (one heap allocation per msgArenaChunk messages instead of
+// one per message), at the cost of chunk-granularity retention: a single
+// long-lived message pins its chunk's other 63 slots, a few kilobytes at
+// worst per controller.
+type msgArena struct {
+	chunk []Msg
+}
+
+// newMsg copies m into the arena and returns its stable address.
+func (a *msgArena) newMsg(m Msg) *Msg {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]Msg, msgArenaChunk)
+	}
+	p := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	*p = m
+	return p
+}

@@ -1,0 +1,126 @@
+package coherence
+
+import (
+	"os"
+	"testing"
+
+	"limitless/internal/protocol"
+)
+
+// TestCompiledDispatchRegistered asserts every registered scheme has a
+// generated dispatcher pair. The controllers silently fall back to the
+// interpreter when one is missing (so the tree builds mid-regeneration),
+// which makes this test the guard against shipping that fallback.
+func TestCompiledDispatchRegistered(t *testing.T) {
+	for _, info := range protocol.Schemes() {
+		cp := compiledFor(info.ID)
+		if cp.mem == nil || cp.cache == nil {
+			t.Errorf("scheme %s has no compiled dispatch; run go generate ./internal/coherence", info.Name)
+		}
+	}
+}
+
+// TestCompiledTablesCurrent regenerates the compiled dispatch in memory
+// and compares it byte-for-byte with tables_compiled.go on disk — the
+// in-tree form of CI's go-generate staleness gate.
+func TestCompiledTablesCurrent(t *testing.T) {
+	want, err := GenerateCompiledTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("tables_compiled.go")
+	if err != nil {
+		t.Fatalf("read generated file: %v (run go generate ./internal/coherence)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("tables_compiled.go is stale: regenerate with go generate ./internal/coherence")
+	}
+}
+
+// TestGenerateRejectsClosures asserts the generator refuses a table whose
+// row action has no package-level symbol, instead of silently emitting
+// broken code.
+func TestGenerateRejectsClosures(t *testing.T) {
+	bad := protocol.New(protocol.Spec{
+		Name:   "test/closure",
+		States: []string{"S"},
+		Msgs:   []protocol.MsgDef{{Val: 0, Name: "M"}},
+	}, []protocol.Row[memCtx]{
+		{State: 0, Msg: 0, ID: "closure-row", Action: func(c *memCtx) {}},
+	}, nil)
+	rowAt := func(ri int32) (string, string, string, error) {
+		r := bad.RowAt(int(ri))
+		g, err := symbolOf(r.Guard)
+		if err != nil {
+			return "", "", "", err
+		}
+		a, err := symbolOf(r.Action)
+		if err != nil {
+			return "", "", "", err
+		}
+		return g, a, r.ID, nil
+	}
+	progs := bad.CellPrograms()
+	if len(progs) != 1 {
+		t.Fatalf("expected 1 cell, got %d", len(progs))
+	}
+	if _, err := cellBody(progs[0].Rows, progs[0].Impossible, rowAt); err == nil {
+		t.Fatal("generator accepted a closure action; it must demand named top-level functions")
+	}
+}
+
+// TestCompiledVerdictParity sweeps every possible (state, meta, msg) byte
+// triple through the interpreter and the compiled dispatcher of every
+// scheme and demands identical verdicts. Guards and actions touch live
+// controller state, so the sweep runs on a throwaway machine node per
+// scheme and only exercises triples whose row programs are side-effect
+// free (no rows: the out-of-range and impossible spaces) — the in-range
+// behavioral parity is covered end-to-end by the differential tests at the
+// repo root.
+func TestCompiledVerdictParity(t *testing.T) {
+	for _, info := range protocol.Schemes() {
+		p := policyFor(info.ID)
+		cp := compiledFor(info.ID)
+		if p == nil || cp.mem == nil {
+			t.Fatalf("scheme %s missing tables", info.Name)
+		}
+		// Dispatching a cell with no rows runs no guard or action, so a nil
+		// context round trip is safe; compare every triple whose cell
+		// program is empty, plus every out-of-range triple.
+		for _, prog := range p.mem.CellPrograms() {
+			if len(prog.Rows) != 0 {
+				continue
+			}
+			want := protocol.NoRow
+			if prog.Impossible {
+				want = protocol.VerdictImpossible
+			}
+			if got := cp.mem(p.mem, nil, prog.State, prog.Meta, prog.Msg); got != want {
+				t.Errorf("%s/memory %s: compiled verdict %v, want %v",
+					info.Name, p.mem.Describe(prog.State, prog.Meta, prog.Msg), got, want)
+			}
+		}
+		for _, prog := range p.cache.CellPrograms() {
+			if len(prog.Rows) != 0 {
+				continue
+			}
+			want := protocol.NoRow
+			if prog.Impossible {
+				want = protocol.VerdictImpossible
+			}
+			if got := cp.cache(p.cache, nil, prog.State, prog.Msg); got != want {
+				t.Errorf("%s/cache %s: compiled verdict %v, want %v",
+					info.Name, p.cache.Describe(prog.State, protocol.Any, prog.Msg), got, want)
+			}
+		}
+		// Out-of-range axes must fall through to NoRow in both forms.
+		outOfRange := [][3]uint8{{200, 0, 0}, {0, 200, 0}, {0, 0, 200}, {protocol.Any, 0, 0}, {0, protocol.Any, 0}}
+		for _, tr := range outOfRange {
+			iv := p.mem.Dispatch(tr[0], tr[1], tr[2], nil)
+			cv := cp.mem(p.mem, nil, tr[0], tr[1], tr[2])
+			if iv != cv {
+				t.Errorf("%s/memory triple %v: interp %v, compiled %v", info.Name, tr, iv, cv)
+			}
+		}
+	}
+}

@@ -49,7 +49,11 @@ func (c *memCtx) reset(src mesh.NodeID, m *Msg, e *directory.Entry) {
 // other shape, so exactly one sharer exists.
 func (c *memCtx) ownerNode() mesh.NodeID {
 	if !c.haveOwner {
-		c.owner = c.mc.sharers(c.e)[0]
+		// The walk goes through the transient ownBuf, not the dispatch-
+		// scoped shBuf: only the scalar owner is kept, and sharerList's
+		// memoized slice (when a row uses both) stays intact.
+		c.mc.ownBuf = c.mc.sharersInto(c.mc.ownBuf, c.e)
+		c.owner = c.mc.ownBuf[0]
 		c.haveOwner = true
 	}
 	return c.owner
@@ -143,6 +147,47 @@ type policy struct {
 }
 
 var policies [protocol.NumSchemes]*policy
+
+//go:generate go run limitless/cmd/tablegen
+
+// memDispatch and cacheDispatch are the signatures of the generated
+// direct-threaded dispatchers (tables_compiled.go): straight-line switch
+// code equivalent to t.Dispatch over the same table. The table is passed
+// in for coverage counting and verdict bookkeeping only — the transition
+// logic is compiled into the function body.
+type (
+	memDispatch   func(t *protocol.Table[memCtx], c *memCtx, state, meta, msg uint8) protocol.Verdict
+	cacheDispatch func(t *protocol.Table[cacheCtx], c *cacheCtx, state, msg uint8) protocol.Verdict
+)
+
+// compiledPolicy pairs one scheme's generated dispatchers.
+type compiledPolicy struct {
+	mem   memDispatch
+	cache cacheDispatch
+}
+
+var compiled [protocol.NumSchemes]compiledPolicy
+
+// registerCompiled installs a scheme's generated dispatch functions; the
+// go:generate'd tables_compiled.go calls it from init. Controllers built
+// with TableCompiled fall back to the interpreter for any scheme without a
+// registered compiled dispatcher, so the tree still builds (and runs
+// correctly) while tables_compiled.go is being regenerated.
+func registerCompiled(id Scheme, mem memDispatch, cache cacheDispatch) {
+	if compiled[id].mem != nil {
+		panic(fmt.Sprintf("coherence: compiled dispatch for scheme %v registered twice", id))
+	}
+	compiled[id] = compiledPolicy{mem: mem, cache: cache}
+}
+
+// compiledFor returns the scheme's generated dispatchers (zero-valued if
+// none are registered).
+func compiledFor(id Scheme) compiledPolicy {
+	if int(id) >= len(compiled) {
+		return compiledPolicy{}
+	}
+	return compiled[id]
+}
 
 // registerPolicy installs a scheme's tables; each policy_*.go file calls
 // it from init.

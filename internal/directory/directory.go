@@ -100,6 +100,10 @@ type PointerSet interface {
 	Len() int
 	// Nodes returns the members in ascending order (a fresh slice).
 	Nodes() []mesh.NodeID
+	// NodesInto appends the members in ascending order to out and returns
+	// the extended slice — the allocation-free counterpart of Nodes for
+	// hot paths that own a reusable buffer.
+	NodesInto(out []mesh.NodeID) []mesh.NodeID
 	// Clear empties the set. The LimitLESS trap handler uses this to
 	// "empty the hardware pointers" into its software vector.
 	Clear()
@@ -160,7 +164,11 @@ func (b *BitVector) Len() int {
 
 // Nodes implements PointerSet.
 func (b *BitVector) Nodes() []mesh.NodeID {
-	out := make([]mesh.NodeID, 0, b.Len())
+	return b.NodesInto(make([]mesh.NodeID, 0, b.Len()))
+}
+
+// NodesInto implements PointerSet. Bit order is ascending already.
+func (b *BitVector) NodesInto(out []mesh.NodeID) []mesh.NodeID {
 	for wi, w := range b.words {
 		for w != 0 {
 			bit := bits.TrailingZeros64(w)
@@ -235,8 +243,23 @@ func (l *Limited) Len() int { return len(l.ptrs) }
 
 // Nodes implements PointerSet.
 func (l *Limited) Nodes() []mesh.NodeID {
-	out := append([]mesh.NodeID(nil), l.ptrs...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return l.NodesInto(make([]mesh.NodeID, 0, len(l.ptrs)))
+}
+
+// NodesInto implements PointerSet. The pointer array is tiny (the i of
+// Dir_iNB, single digits), so insertion sort beats sort.Slice and — unlike
+// it — performs no reflection allocation.
+func (l *Limited) NodesInto(out []mesh.NodeID) []mesh.NodeID {
+	base := len(out)
+	for _, p := range l.ptrs {
+		j := len(out)
+		out = append(out, p)
+		for j > base && out[j-1] > p {
+			out[j] = out[j-1]
+			j--
+		}
+		out[j] = p
+	}
 	return out
 }
 
@@ -356,6 +379,14 @@ func hashAddr(a Addr) uint64 {
 // Entry returns the directory entry for addr, creating it (uncached,
 // Read-Only, Normal) on first reference.
 func (s *Store) Entry(addr Addr) *Entry {
+	e, _ := s.EntryOrCreate(addr)
+	return e
+}
+
+// EntryOrCreate is Entry plus a created flag, resolved in a single probe.
+// The memory controller's dispatch path uses it to apply the scheme's
+// default meta state to fresh entries without a separate Lookup.
+func (s *Store) EntryOrCreate(addr Addr) (_ *Entry, created bool) {
 	mask := uint64(len(s.slots) - 1)
 	i := hashAddr(addr) & mask
 	for {
@@ -364,7 +395,7 @@ func (s *Store) Entry(addr Addr) *Entry {
 			break
 		}
 		if sl.addr == addr {
-			return sl.e
+			return sl.e, false
 		}
 		i = (i + 1) & mask
 	}
@@ -380,7 +411,7 @@ func (s *Store) Entry(addr Addr) *Entry {
 	}
 	s.slots[i] = slot{addr: addr, e: e}
 	s.count++
-	return e
+	return e, true
 }
 
 // Lookup returns the entry for addr without creating one.

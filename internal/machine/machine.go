@@ -347,6 +347,16 @@ func (m *Machine) Recorder() *fault.Recorder { return m.rec }
 // event queue with processors still blocked.
 func (m *Machine) Diagnostic() *Diagnostic { return m.diag }
 
+// Release returns the machine's pooled resources — the per-node cache line
+// arrays, its largest allocations — for reuse by future machines. The
+// machine must not be used afterwards; callers that inspect node state
+// after a run simply never call Release.
+func (m *Machine) Release() {
+	for _, n := range m.Nodes {
+		n.Cache.Release()
+	}
+}
+
 // Result summarizes a run.
 type Result struct {
 	// Cycles is the total execution time — the paper's bottom-line metric.

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+)
+
+// recHandler records the delivery order of integer args and, when batch is
+// set, the size of every OnEvents call it receives.
+type recHandler struct {
+	order   []int
+	batches []int
+	e       *Engine
+	respawn int // while > 0, each delivery schedules a same-cycle follow-up
+}
+
+func (h *recHandler) OnEvent(arg any) {
+	h.order = append(h.order, arg.(int))
+	h.spawn()
+}
+
+func (h *recHandler) spawn() {
+	if h.respawn > 0 {
+		h.respawn--
+		h.e.AtHandler(h.e.Now(), h, 1000+h.respawn)
+	}
+}
+
+// batchRecHandler extends recHandler with OnEvents, making it eligible for
+// the wheel's event-batch fast path.
+type batchRecHandler struct{ recHandler }
+
+func (h *batchRecHandler) OnEvents(args []any) {
+	h.batches = append(h.batches, len(args))
+	for _, a := range args {
+		h.order = append(h.order, a.(int))
+		h.spawn()
+	}
+}
+
+// plainHandler is a second, non-batching handler used to break up runs.
+type plainHandler struct{ order *[]int }
+
+func (h *plainHandler) OnEvent(arg any) { *h.order = append(*h.order, arg.(int)) }
+
+// scheduleBatchMix files the shared test schedule: runs of same-handler
+// events at shared cycles, interleaved with a foreign handler and singleton
+// deliveries that must not batch.
+func scheduleBatchMix(e *Engine, h Handler, other Handler) {
+	for i := 0; i < 4; i++ {
+		e.AtHandler(10, h, i) // run of 4 at cycle 10
+	}
+	e.AtHandler(10, other, 100) // foreign handler ends the run
+	e.AtHandler(10, h, 4)       // singleton after the break
+	e.AtHandler(25, h, 5)       // singleton cycle
+	for i := 6; i < 9; i++ {
+		e.AtHandler(40, h, i) // run of 3 at cycle 40
+	}
+}
+
+// TestBatchDispatchOrder checks that the wheel's OnEvents fast path fires
+// and that delivery order is bit-identical to the heap scheduler, which
+// never batches — the same oracle relationship the full simulation relies
+// on.
+func TestBatchDispatchOrder(t *testing.T) {
+	wheelEng := New()
+	wh := &batchRecHandler{}
+	var wheelOther []int
+	scheduleBatchMix(wheelEng, wh, &plainHandler{&wheelOther})
+	wheelEng.Run()
+
+	heapEng := New()
+	heapEng.SetScheduler(SchedHeap)
+	hh := &batchRecHandler{}
+	var heapOther []int
+	scheduleBatchMix(heapEng, hh, &plainHandler{&heapOther})
+	heapEng.Run()
+
+	if len(wh.order) != len(hh.order) {
+		t.Fatalf("wheel delivered %d events, heap %d", len(wh.order), len(hh.order))
+	}
+	for i := range wh.order {
+		if wh.order[i] != hh.order[i] {
+			t.Fatalf("delivery order diverges at %d: wheel %v, heap %v", i, wh.order, hh.order)
+		}
+	}
+	if len(hh.batches) != 0 {
+		t.Fatalf("heap scheduler must never batch, saw OnEvents calls %v", hh.batches)
+	}
+	// The wheel must have batched exactly the two multi-event runs: the
+	// foreign handler splits cycle 10, and singletons go through OnEvent.
+	want := []int{4, 3}
+	if len(wh.batches) != len(want) {
+		t.Fatalf("expected OnEvents batch sizes %v, got %v", want, wh.batches)
+	}
+	for i, n := range want {
+		if wh.batches[i] != n {
+			t.Fatalf("expected OnEvents batch sizes %v, got %v", want, wh.batches)
+		}
+	}
+	if wheelEng.Processed() != heapEng.Processed() {
+		t.Fatalf("processed counts diverge: wheel %d, heap %d", wheelEng.Processed(), heapEng.Processed())
+	}
+}
+
+// TestBatchDispatchRespawn checks that events a batched callback schedules
+// for the current cycle fire after the batch, in sequence order, matching
+// the heap exactly.
+func TestBatchDispatchRespawn(t *testing.T) {
+	run := func(kind SchedulerKind) ([]int, uint64) {
+		e := New()
+		e.SetScheduler(kind)
+		h := &batchRecHandler{}
+		h.e = e
+		h.respawn = 3
+		for i := 0; i < 4; i++ {
+			e.AtHandler(5, h, i)
+		}
+		e.Run()
+		return h.order, e.Processed()
+	}
+	wheelOrder, wheelN := run(SchedWheel)
+	heapOrder, heapN := run(SchedHeap)
+	if wheelN != heapN || len(wheelOrder) != len(heapOrder) {
+		t.Fatalf("wheel processed %d (%v), heap %d (%v)", wheelN, wheelOrder, heapN, heapOrder)
+	}
+	for i := range wheelOrder {
+		if wheelOrder[i] != heapOrder[i] {
+			t.Fatalf("order diverges: wheel %v, heap %v", wheelOrder, heapOrder)
+		}
+	}
+}
+
+// TestBatchSkipsPlainHandlers checks a handler without OnEvents still goes
+// through OnEvent one event at a time on the wheel.
+func TestBatchSkipsPlainHandlers(t *testing.T) {
+	e := New()
+	var order []int
+	h := &plainHandler{&order}
+	for i := 0; i < 5; i++ {
+		e.AtHandler(3, h, i)
+	}
+	e.Run()
+	if len(order) != 5 {
+		t.Fatalf("delivered %d of 5 events: %v", len(order), order)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out-of-order delivery: %v", order)
+		}
+	}
+}

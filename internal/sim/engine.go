@@ -43,6 +43,22 @@ type Handler interface {
 	OnEvent(arg any)
 }
 
+// BatchHandler is an optional extension of Handler. Schedulers that dispatch
+// whole cycles at once (the timing wheel) deliver a run of consecutive
+// same-handler events through a single OnEvents call instead of one virtual
+// OnEvent call per event. OnEvents(args) must behave exactly as calling
+// OnEvent(arg) for each arg in order: the batch is purely a call-overhead
+// optimization and must never change results. The heap scheduler never
+// batches, which is what lets the wheel-vs-heap cross-check tests verify
+// that claim, and Step never batches either (it executes exactly one event
+// by contract). The args slice is engine-owned scratch, valid only for the
+// duration of the call. Implementations must have a comparable (pointer-
+// shaped) dynamic type: run detection compares handler identity with ==.
+type BatchHandler interface {
+	Handler
+	OnEvents(args []any)
+}
+
 // Event is a unit of scheduled work. The callback runs at the event's
 // deadline with the engine clock already advanced to that deadline. Event
 // objects are pooled; user code holds EventRef handles, never *Event.
@@ -98,6 +114,7 @@ type Engine struct {
 	processed uint64
 	free      []*Event // recycled events; see SetPooling
 	noPool    bool
+	batch     []any // reusable arg buffer for fireBatch (wheel batch dispatch)
 
 	// Windowed-mode sequencing (see SetCycleSeq): seqCycle is the cycle the
 	// per-cycle counter is counting for, cycleCtr the next counter value.

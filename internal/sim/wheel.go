@@ -140,6 +140,17 @@ type wheel struct {
 func (w *wheel) init() {
 	if w.buckets == nil {
 		w.buckets = make([]wheelBucket, wheelSpan)
+		// Carve every bucket's initial slice out of one shared backing array.
+		// Without this, each bucket's first few appends grow a nil slice
+		// through the small size classes — over a thousand tiny allocations
+		// per engine. Eight slots cover typical per-cycle occupancy; busier
+		// buckets grow past their carve and keep the larger capacity across
+		// resets.
+		const carve = 8
+		backing := make([]*Event, int(wheelSpan)*carve)
+		for i := range w.buckets {
+			w.buckets[i].evs = backing[i*carve : i*carve : (i+1)*carve]
+		}
 	}
 }
 
@@ -300,6 +311,11 @@ func (e *Engine) stepWheel() bool {
 // for the current cycle append to the draining bucket with strictly larger
 // sequence keys (engine numbering is monotone within a cycle), so the drain
 // order remains exactly ascending (deadline, sequence).
+//
+// On top of the per-bucket drain sits the event-batch fast path: a run of
+// consecutive pending events sharing one BatchHandler is collected and
+// delivered through a single OnEvents call — one controller entry per
+// (cycle, handler) instead of one virtual dispatch per event.
 func (e *Engine) runWheel(limit Time) Time {
 	w := &e.wh
 	for {
@@ -322,6 +338,15 @@ func (e *Engine) runWheel(limit Time) Time {
 			}
 			b.live--
 			w.count--
+			// The BatchHandler assertion comes first: it guarantees ev.h has
+			// a comparable (pointer-shaped) dynamic type, so the handler
+			// identity tests below cannot panic on func-typed handlers.
+			if bh, ok := ev.h.(BatchHandler); ok && b.head < len(b.evs) {
+				if nxt := b.evs[b.head]; nxt != nil && nxt.h == ev.h {
+					e.fireBatch(bh, ev, b, t)
+					continue
+				}
+			}
 			e.fire(ev, t)
 		}
 		b.reset()
@@ -329,6 +354,47 @@ func (e *Engine) runWheel(limit Time) Time {
 			w.clearOcc(idx)
 		}
 	}
+}
+
+// fireBatch advances the clock to t and delivers first plus every
+// immediately following pending event sharing its handler through one
+// OnEvents call. The caller has already detached first from the bucket.
+//
+// The batch preserves the exact (deadline, sequence) total order: the
+// collected run is a contiguous ascending-seq prefix of the bucket's
+// remaining events (the bucket was sorted if dirty, and no callback runs
+// during collection), OnEvents processes args in that order, and anything a
+// callback schedules for the current cycle appends behind the run with a
+// strictly larger sequence key. Collection stops at a cancelled-event
+// tombstone, which the outer drain loop then skips as usual. Every event is
+// recycled before the handler runs, matching fire's contract.
+func (e *Engine) fireBatch(bh BatchHandler, first *Event, b *wheelBucket, t Time) {
+	if first.at != t {
+		panic(fmt.Sprintf("sim: wheel bucket holds event at %d in cycle %d", first.at, t))
+	}
+	w := &e.wh
+	h := first.h
+	batch := append(e.batch[:0], first.arg)
+	first.index = -1
+	e.release(first)
+	for b.head < len(b.evs) {
+		ev := b.evs[b.head]
+		if ev == nil || ev.h != h {
+			break
+		}
+		b.evs[b.head] = nil
+		b.head++
+		b.live--
+		w.count--
+		ev.index = -1
+		batch = append(batch, ev.arg)
+		e.release(ev)
+	}
+	e.batch = batch
+	e.queued -= len(batch)
+	e.now = t
+	e.processed += uint64(len(batch))
+	bh.OnEvents(batch)
 }
 
 // fire advances the clock to t and executes ev, recycling it first so the

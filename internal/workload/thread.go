@@ -28,8 +28,13 @@ type Cont func(v uint64, t *Thread)
 // operations with Load/Store/RMW/Compute; each takes the continuation to
 // run when the operation's result is available.
 type Thread struct {
-	queue []queued
-	last  Cont
+	// pending is the single-entry fast path: CPS continuations push exactly
+	// one operation before Next pops it, so the queue proper is touched only
+	// by code that batches several operations up front.
+	pending    queued
+	hasPending bool
+	queue      []queued
+	last       Cont
 }
 
 type queued struct {
@@ -45,8 +50,14 @@ func NewThread(start func(t *Thread)) *Thread {
 	return t
 }
 
-// push appends an operation.
+// push appends an operation. The pending slot may only be claimed when the
+// whole queue is empty — otherwise the new operation would jump the line.
 func (t *Thread) push(op proc.Op, then Cont) {
+	if !t.hasPending && len(t.queue) == 0 {
+		t.pending = queued{op, then}
+		t.hasPending = true
+		return
+	}
 	t.queue = append(t.queue, queued{op, then})
 }
 
@@ -89,15 +100,19 @@ func (t *Thread) Compute(cycles sim.Time, then Cont) {
 // SpinUntil polls addr (with backoff cycles between polls) until
 // pred(value) holds, then continues with the satisfying value.
 func (t *Thread) SpinUntil(addr directory.Addr, pred func(uint64) bool, backoff sim.Time, then Cont) {
-	var poll Cont
+	// poll and retry are allocated once per SpinUntil, not once per poll:
+	// spin loops dominate barrier-heavy workloads, and a fresh closure per
+	// retry was one of the largest steady-state allocation sources.
+	var poll, retry Cont
 	poll = func(v uint64, t *Thread) {
 		if pred(v) {
 			then(v, t)
 			return
 		}
-		t.Compute(backoff, func(_ uint64, t *Thread) {
-			t.Load(addr, poll)
-		})
+		t.Compute(backoff, retry)
+	}
+	retry = func(_ uint64, t *Thread) {
+		t.Load(addr, poll)
 	}
 	t.Load(addr, poll)
 }
@@ -108,6 +123,15 @@ func (t *Thread) Next(prev uint64) (proc.Op, bool) {
 		fn := t.last
 		t.last = nil
 		fn(prev, t) // may push further operations
+	}
+	// The pending slot, when occupied, is always the oldest entry: push
+	// claims it only when the queue was empty.
+	if t.hasPending {
+		op, then := t.pending.op, t.pending.then
+		t.pending = queued{}
+		t.hasPending = false
+		t.last = then
+		return op, true
 	}
 	if len(t.queue) == 0 {
 		return proc.Op{}, false
@@ -126,15 +150,23 @@ var _ proc.Workload = (*Thread)(nil)
 // Loop runs body n times (body receives the iteration index and a
 // continuation to call when the iteration finishes), then continues.
 func Loop(t *Thread, n int, body func(i int, t *Thread, next func(*Thread)), then func(*Thread)) {
-	var iter func(i int, t *Thread)
-	iter = func(i int, t *Thread) {
+	// The iteration index is mutable state captured by one continuation,
+	// rather than a parameter captured by a fresh closure per iteration:
+	// iterations of a CPS loop are strictly sequential, so advancing i
+	// before body runs and reusing iter as the next-continuation is safe,
+	// and the loop allocates nothing after setup.
+	i := 0
+	var iter func(t *Thread)
+	iter = func(t *Thread) {
 		if i >= n {
 			then(t)
 			return
 		}
-		body(i, t, func(t *Thread) { iter(i+1, t) })
+		cur := i
+		i++
+		body(cur, t, iter)
 	}
-	iter(0, t)
+	iter(t)
 }
 
 // Each runs body once per element index of a length-n sequence,

@@ -131,88 +131,136 @@ func Weather(cfg WeatherConfig) []proc.Workload {
 	for p := 0; p < cfg.Procs; p++ {
 		p := p
 		me := mesh.NodeID(p)
-		succ := mesh.NodeID((p + 1) % cfg.Procs)
+		nbr := mesh.NodeID((p + 1) % cfg.Procs)
 		isLeader := int(cfg.groupLeader(p)) == p
 		subs := cfg.subscriptions(p)
 		wls[p] = NewThread(func(t *Thread) {
-			begin := func(t *Thread, run func(*Thread)) {
-				if p == 0 {
-					// "Initialized by one processor and then read by all of
-					// the other processors."
-					t.Store(cfg.HotAddr(), 1, func(_ uint64, t *Thread) { run(t) })
+			hotSlice := cfg.ComputeCycles / sim.Time(cfg.HotReads)
+			if hotSlice < 1 {
+				hotSlice = 1
+			}
+			// Every continuation below is allocated once per thread and
+			// reused across iterations; the loop indices are mutable
+			// captured state (the Loop/SpinUntil pattern in thread.go).
+			// The phases run strictly sequentially, so advancing an index
+			// inside one continuation before re-entering the phase closure
+			// is safe. A fresh closure per executed operation — the
+			// straightforward CPS phrasing — was the simulator's largest
+			// steady-state allocation source.
+			var (
+				iter           int
+				j, ti, ni, si  int
+				phase, hot     func(*Thread)
+				rest, tables   func(*Thread)
+				own, succReads func(*Thread)
+				afterHotRead, afterPrivStore, afterCompute Cont
+				afterPublish, afterTable                   Cont
+				ownLoaded, ownStored, afterSucc            Cont
+				done                                       func(*Thread)
+			)
+			// phase runs one outer iteration: the hot-read sweep, then the
+			// rest of the phase, then the barrier.
+			phase = func(t *Thread) {
+				if iter >= cfg.Iters {
 					return
 				}
-				run(t)
+				j = 0
+				hot(t)
 			}
-			begin(t, func(t *Thread) {
-				Loop(t, cfg.Iters, func(iter int, t *Thread, next func(*Thread)) {
-					hotSlice := cfg.ComputeCycles / sim.Time(cfg.HotReads)
-					if hotSlice < 1 {
-						hotSlice = 1
-					}
-					// Worker-set-2 traffic: refresh own variables (read
-					// then write), then read the successor's; then join
-					// the barrier.
-					neighbors := func(t *Thread) {
-						Each(t, cfg.NeighborVars, func(k int, t *Thread, nx func(*Thread)) {
-							v := cfg.neighborVar(me, k)
-							t.Load(v, func(old uint64, t *Thread) {
-								t.Store(v, old+1, func(_ uint64, t *Thread) { nx(t) })
-							})
-						}, func(t *Thread) {
-							Each(t, cfg.NeighborVars, func(k int, t *Thread, nx func(*Thread)) {
-								t.Load(cfg.neighborVar(succ, k), func(_ uint64, t *Thread) { nx(t) })
-							}, func(t *Thread) {
-								bar.Wait(t, p, uint64(iter+1), next)
-							})
-						})
-					}
-					// The phase body after the hot-read sweep: group
-					// broadcast, coefficient tables, worker-set-2 exchange,
-					// then the barrier.
-					rest := func(t *Thread) {
-						publish := func(t *Thread, after func(*Thread)) {
-							if isLeader {
-								t.Store(cfg.groupVar(p), uint64(iter+1), func(_ uint64, t *Thread) { after(t) })
-								return
-							}
-							t.Load(cfg.groupVar(p), func(_ uint64, t *Thread) { after(t) })
-						}
-						publish(t, func(t *Thread) {
-							// Read-only coefficient tables this processor
-							// subscribes to: the Dir₁/Dir₂/Dir₄ separator.
-							Each(t, len(subs), func(k int, t *Thread, nx func(*Thread)) {
-								t.Load(cfg.table(subs[k]), func(_ uint64, t *Thread) { nx(t) })
-							}, neighbors)
-						})
-					}
-
-					// The hot-read sweep: the model state is consulted
-					// throughout the phase, interleaved with private grid
-					// updates and local compute. Under a limited directory
-					// each consultation can miss again — another reader's
-					// miss evicted this processor's pointer in between —
-					// which is the thrashing loop of Figure 8.
-					Loop(t, cfg.HotReads, func(j int, t *Thread, nx func(*Thread)) {
-						readHot := func(t *Thread, after func(*Thread)) {
-							if cfg.OptimizeHot || p == 0 {
-								// Processor 0 owns the value; the
-								// optimization gives everyone a local
-								// read-only copy.
-								t.LoadPrivate(cfg.private(me, 1999), func(_ uint64, t *Thread) { after(t) })
-								return
-							}
-							t.Load(cfg.HotAddr(), func(_ uint64, t *Thread) { after(t) })
-						}
-						readHot(t, func(t *Thread) {
-							k := j % cfg.PrivateBlocks
-							t.StorePrivate(cfg.private(me, k), uint64(iter), func(_ uint64, t *Thread) {
-								t.Compute(hotSlice, func(_ uint64, t *Thread) { nx(t) })
-							})
-						})
-					}, rest)
-				}, func(*Thread) {})
-			})
+			// The hot-read sweep: the model state is consulted throughout
+			// the phase, interleaved with private grid updates and local
+			// compute. Under a limited directory each consultation can miss
+			// again — another reader's miss evicted this processor's
+			// pointer in between — which is the thrashing loop of Figure 8.
+			hot = func(t *Thread) {
+				if j >= cfg.HotReads {
+					rest(t)
+					return
+				}
+				if cfg.OptimizeHot || p == 0 {
+					// Processor 0 owns the value; the optimization gives
+					// everyone a local read-only copy.
+					t.LoadPrivate(cfg.private(me, 1999), afterHotRead)
+					return
+				}
+				t.Load(cfg.HotAddr(), afterHotRead)
+			}
+			afterHotRead = func(_ uint64, t *Thread) {
+				t.StorePrivate(cfg.private(me, j%cfg.PrivateBlocks), uint64(iter), afterPrivStore)
+			}
+			afterPrivStore = func(_ uint64, t *Thread) {
+				t.Compute(hotSlice, afterCompute)
+			}
+			afterCompute = func(_ uint64, t *Thread) {
+				j++
+				hot(t)
+			}
+			// The phase body after the hot-read sweep: group broadcast,
+			// coefficient tables, worker-set-2 exchange, then the barrier.
+			rest = func(t *Thread) {
+				if isLeader {
+					t.Store(cfg.groupVar(p), uint64(iter+1), afterPublish)
+					return
+				}
+				t.Load(cfg.groupVar(p), afterPublish)
+			}
+			afterPublish = func(_ uint64, t *Thread) {
+				ti = 0
+				tables(t)
+			}
+			// Read-only coefficient tables this processor subscribes to:
+			// the Dir₁/Dir₂/Dir₄ separator.
+			tables = func(t *Thread) {
+				if ti >= len(subs) {
+					ni = 0
+					own(t)
+					return
+				}
+				t.Load(cfg.table(subs[ti]), afterTable)
+			}
+			afterTable = func(_ uint64, t *Thread) {
+				ti++
+				tables(t)
+			}
+			// Worker-set-2 traffic: refresh own variables (read then
+			// write), then read the successor's; then join the barrier.
+			own = func(t *Thread) {
+				if ni >= cfg.NeighborVars {
+					si = 0
+					succReads(t)
+					return
+				}
+				t.Load(cfg.neighborVar(me, ni), ownLoaded)
+			}
+			ownLoaded = func(old uint64, t *Thread) {
+				t.Store(cfg.neighborVar(me, ni), old+1, ownStored)
+			}
+			ownStored = func(_ uint64, t *Thread) {
+				ni++
+				own(t)
+			}
+			succReads = func(t *Thread) {
+				if si >= cfg.NeighborVars {
+					bar.Wait(t, p, uint64(iter+1), done)
+					return
+				}
+				t.Load(cfg.neighborVar(nbr, si), afterSucc)
+			}
+			afterSucc = func(_ uint64, t *Thread) {
+				si++
+				succReads(t)
+			}
+			done = func(t *Thread) {
+				iter++
+				phase(t)
+			}
+			if p == 0 {
+				// "Initialized by one processor and then read by all of
+				// the other processors."
+				t.Store(cfg.HotAddr(), 1, func(_ uint64, t *Thread) { phase(t) })
+				return
+			}
+			phase(t)
 		})
 	}
 	return wls

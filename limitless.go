@@ -239,6 +239,14 @@ type Config struct {
 	// bit-identical under either scheduler — the determinism tests assert
 	// it; the choice affects only wall-clock speed.
 	Scheduler string
+	// TableMode selects how the coherence controllers execute the protocol
+	// tables: "compiled" (the default; go:generate'd direct-threaded
+	// dispatch) or "interp" (the declarative table interpreter kept as the
+	// cross-checking oracle). The two are bit-identical in every cycle
+	// count and statistic — the differential tests and the table-mode fuzz
+	// target assert it — so the choice affects only wall-clock speed,
+	// exactly like Scheduler.
+	TableMode string
 	// Faults is a deterministic fault-injection spec, "seed:key=value,...".
 	// Keys: delay/delaymax (per-packet delivery jitter), dup/dupdelay
 	// (duplicate deliveries), stall/stallperiod/stallcycles (link stall
@@ -304,6 +312,11 @@ func (c Config) build() (*machine.Machine, error) {
 		params.Timing.TrapService = sim.Time(c.TrapService)
 	}
 	params.ModifyGrant = c.ModifyGrant
+	tm, err := coherence.ParseTableMode(c.TableMode)
+	if err != nil {
+		return nil, fmt.Errorf("limitless: bad TableMode: %w", err)
+	}
+	params.TableMode = tm
 	contexts := c.Contexts
 	if contexts <= 0 {
 		contexts = 1
@@ -365,6 +378,10 @@ func (c Config) build() (*machine.Machine, error) {
 type Result struct {
 	// Cycles is the total execution time — the paper's bottom-line metric.
 	Cycles int64
+	// Events is the number of simulation events the engine dispatched; with
+	// wall-clock time it yields the events/s throughput the benchmarks
+	// report.
+	Events uint64
 	// AvgRemoteLatency is measured T_h: mean cycles per remote miss.
 	AvgRemoteLatency float64
 	// HitRate is the fraction of references satisfied in the local cache.
@@ -427,6 +444,7 @@ func resultFrom(r machine.Result) Result {
 	}
 	return Result{
 		Cycles:              int64(r.Cycles),
+		Events:              r.Events,
 		AvgRemoteLatency:    r.Misses.AvgRemoteLatency(),
 		HitRate:             hr,
 		Messages:            r.Coherence.TotalSent(),
@@ -670,6 +688,10 @@ func Run(cfg Config, wl Workload) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// The machine is private to this call, so its pooled resources can be
+	// recycled for the next Run once the results are collected (the deferred
+	// call runs after every return value below has been computed).
+	defer m.Release()
 	for i, w := range wl.build() {
 		m.SetWorkload(mesh.NodeID(i), 0, w)
 	}

@@ -3,7 +3,8 @@
 #
 # Runs BenchmarkSimulatorThroughput (the sequential 64-processor LimitLESS(4)
 # Weather run in bench_test.go), its binary-heap-scheduler twin
-# BenchmarkSimulatorThroughputHeap, and BenchmarkShardedThroughput/shards-4
+# BenchmarkSimulatorThroughputHeap, its interpreted-protocol-table twin
+# BenchmarkSimulatorThroughputInterp, and BenchmarkShardedThroughput/shards-4
 # (the same machine on the windowed sharded engine) five times each with
 # allocation stats, plus the scheduler microbenchmarks in internal/sim
 # (BenchmarkSchedule, BenchmarkFireDrain: wheel vs heap, near vs far
@@ -68,18 +69,21 @@ BEGIN {
 function flush_point() {
     if (name == "") return
     shards = 0; workers = 1; engine = "sequential"; sched = "wheel"
+    tmode = "compiled"
     if (match(name, /shards-[0-9]+/)) {
         shards = substr(name, RSTART + 7, RLENGTH - 7) + 0
         workers = maxprocs + 0
         engine = "windowed-sharded"
     }
-    if (name ~ /^(Schedule|FireDrain)/) engine = "scheduler-micro"
+    if (name ~ /^(Schedule|FireDrain)/) { engine = "scheduler-micro"; tmode = "none" }
     if (name ~ /Heap$/ || name ~ /\/heap\//) sched = "heap"
+    if (name ~ /Interp$/) tmode = "interp"
     if (np++) printf ",\n"
     printf "    {\n"
     printf "      \"benchmark\": \"%s\",\n", name
     printf "      \"engine\": \"%s\",\n", engine
     printf "      \"scheduler\": \"%s\",\n", sched
+    printf "      \"table_mode\": \"%s\",\n", tmode
     printf "      \"shards\": %d,\n", shards
     printf "      \"workers\": %d,\n", workers
     printf "      \"iterations\": %d,\n", n

@@ -1,0 +1,132 @@
+package limitless_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	limitless "limitless"
+)
+
+// allSchemes enumerates the six directory organizations by their public
+// names, in registry order.
+func allSchemes(t testing.TB) []limitless.Scheme {
+	var out []limitless.Scheme
+	for _, info := range limitless.Schemes() {
+		out = append(out, info.Scheme)
+	}
+	if len(out) != 6 {
+		t.Fatalf("expected 6 registered schemes, have %d", len(out))
+	}
+	return out
+}
+
+// runBothTableModes executes cfg under compiled and interpreted dispatch
+// and fails unless every field of the two Results — cycle counts and all
+// statistics — is bit-identical.
+func runBothTableModes(t testing.TB, cfg limitless.Config, mk func() limitless.Workload, label string) {
+	cfg.TableMode = "compiled"
+	compiled, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatalf("%s compiled: %v", label, err)
+	}
+	cfg.TableMode = "interp"
+	interp, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatalf("%s interp: %v", label, err)
+	}
+	if compiled != interp {
+		t.Fatalf("%s: compiled and interpreted dispatch disagree:\ncompiled: %+v\ninterp:   %+v",
+			label, compiled, interp)
+	}
+}
+
+// TestTableModeEquivalence is the compiled-dispatch analogue of the
+// wheel-vs-heap scheduler cross-check: for every scheme and for the
+// sequential and sharded engines, the generated direct-threaded dispatch
+// must reproduce the table interpreter's results bit-identically — same
+// cycle count, same message counts, same traps, same everything.
+func TestTableModeEquivalence(t *testing.T) {
+	for _, scheme := range allSchemes(t) {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			for _, shards := range []int{0, 2, 4} {
+				cfg := limitless.Config{
+					Procs: 16, Scheme: scheme, Pointers: 4, TrapService: 50,
+					Verify: true, Shards: shards, ShardWorkers: 1,
+				}
+				label := fmt.Sprintf("%s/shards=%d", scheme, shards)
+				runBothTableModes(t, cfg, func() limitless.Workload { return limitless.Weather(16) }, label)
+			}
+		})
+	}
+}
+
+// tableModeTrial builds one randomized configuration + workload pair from
+// four fuzz bytes and cross-checks the two dispatch modes on it. Shared by
+// the randomized test and the fuzz target.
+func tableModeTrial(t testing.TB, schemeB, wlB, shardsB, knobsB byte) {
+	schemes := allSchemes(t)
+	scheme := schemes[int(schemeB)%len(schemes)]
+	const procs = 16
+
+	var mk func() limitless.Workload
+	var wlName string
+	switch wlB % 4 {
+	case 0:
+		mk = func() limitless.Workload { return limitless.Weather(procs) }
+		wlName = "weather"
+	case 1:
+		mk = func() limitless.Workload { return limitless.Synthetic(procs, 2+int(knobsB)%8) }
+		wlName = "synthetic"
+	case 2:
+		mk = func() limitless.Workload { return limitless.Migratory(procs, 2) }
+		wlName = "migratory"
+	default:
+		mk = func() limitless.Workload { return limitless.Multigrid(procs) }
+		wlName = "multigrid"
+	}
+
+	cfg := limitless.Config{
+		Procs:       procs,
+		Scheme:      scheme,
+		Pointers:    1 + int(knobsB>>4)%4,
+		TrapService: 25 + int64(knobsB%4)*25,
+		ModifyGrant: knobsB&1 != 0,
+		Shards:      []int{0, 2, 4}[int(shardsB)%3],
+	}
+	if cfg.Shards > 0 {
+		cfg.ShardWorkers = 1
+	}
+	label := fmt.Sprintf("%s/%s/ptrs=%d/ts=%d/mg=%v/shards=%d",
+		scheme, wlName, cfg.Pointers, cfg.TrapService, cfg.ModifyGrant, cfg.Shards)
+	runBothTableModes(t, cfg, mk, label)
+}
+
+// TestTableModeEquivalenceRandom replays seeded random configurations
+// through both dispatch modes — the randomized counterpart of
+// FuzzTableModeEquivalence, always on in `go test`.
+func TestTableModeEquivalenceRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(0x11771e55))
+	for round := 0; round < 12; round++ {
+		var b [4]byte
+		rng.Read(b[:])
+		tableModeTrial(t, b[0], b[1], b[2], b[3])
+	}
+}
+
+// FuzzTableModeEquivalence lets the fuzzer drive the scheme, workload,
+// engine and protocol knobs; any reachable configuration must produce
+// bit-identical results under compiled and interpreted dispatch.
+func FuzzTableModeEquivalence(f *testing.F) {
+	f.Add(byte(2), byte(0), byte(0), byte(0x42)) // limitless/weather/sequential
+	f.Add(byte(0), byte(1), byte(1), byte(0x10)) // full-map/synthetic/sharded
+	f.Add(byte(5), byte(2), byte(2), byte(0xff)) // chained/migratory/4 shards
+	f.Add(byte(3), byte(3), byte(0), byte(0x07)) // software-only/multigrid
+	f.Fuzz(func(t *testing.T, schemeB, wlB, shardsB, knobsB byte) {
+		tableModeTrial(t, schemeB, wlB, shardsB, knobsB)
+	})
+}
