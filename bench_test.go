@@ -189,13 +189,16 @@ func benchThroughput(b *testing.B, sched, tableMode string) {
 }
 
 // BenchmarkShardedThroughput measures the windowed sharded engine on the
-// same 64-processor LimitLESS4 Weather run at 1, 2, 4, and 8 shards.
+// same 64-processor LimitLESS4 Weather run across the shard-count sweep.
 // shards-1 is the sequential reference for the windowed semantics; the
-// speedup of shards-4/8 over it is the intra-simulation parallelism gain
-// (BenchmarkSimulatorThroughput remains the single-thread Shards=0
-// baseline).
+// speedup of the multi-shard points over it is the intra-simulation
+// parallelism gain (BenchmarkSimulatorThroughput remains the single-thread
+// Shards=0 baseline). shards-16 and shards-64 (one node per shard) probe
+// the coordinator's O(shards) window pass and the flush merge at high
+// fan-in; run with several GOMAXPROCS values (scripts/bench.sh sweeps
+// 1/2/4) to separate coordination overhead from parallel speedup.
 func BenchmarkShardedThroughput(b *testing.B) {
-	for _, shards := range []int{1, 2, 4, 8} {
+	for _, shards := range []int{1, 2, 4, 8, 16, 64} {
 		shards := shards
 		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
 			cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4, Shards: shards}
@@ -213,6 +216,27 @@ func BenchmarkShardedThroughput(b *testing.B) {
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
+}
+
+// BenchmarkShardedP256 is the scale point: a 256-processor (16×16 mesh)
+// LimitLESS4 Weather run on 16 shards. Larger machines are where windowed
+// sharding has to pay off — per-engine working sets stay cache-sized while
+// the coordinator still runs one O(shards) pass per window.
+func BenchmarkShardedP256(b *testing.B) {
+	const procs = 256
+	cfg := limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, Shards: 16}
+	var cycles int64
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := limitless.Run(cfg, limitless.Weather(procs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+		events += res.Events
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
 func BenchmarkAblationFFT(b *testing.B) {

@@ -6,8 +6,8 @@
 //	alewife [-scheme limitless] [-pointers 4] [-ts 50] [-procs 64]
 //	        [-workload weather|weather-opt|multigrid|synthetic|migratory|locks|prodcons]
 //	        [-workerset 8] [-contexts 1] [-trace file] [-verify]
-//	        [-shards 0] [-shard-workers 0] [-sched wheel|heap]
-//	        [-table-mode compiled|interp]
+//	        [-shards 0] [-shard-workers 0] [-window adaptive|fixed]
+//	        [-sched wheel|heap] [-table-mode compiled|interp]
 //	        [-faults seed:key=value,...] [-watchdog cycles]
 //	        [-cpuprofile file] [-memprofile file]
 //	alewife -list-schemes
@@ -36,6 +36,7 @@ var (
 	verifyFlag   = flag.Bool("verify", false, "run the coherence checker after the workload finishes")
 	shardsFlag   = flag.Int("shards", 0, "run on the windowed sharded engine with this many mesh tiles (0 = sequential engine)")
 	shardWFlag   = flag.Int("shard-workers", 0, "goroutines executing shards concurrently (0 = GOMAXPROCS; never changes results)")
+	windowFlag   = flag.String("window", "adaptive", "sharded window sizing: adaptive (slack-derived windows, default) or fixed (lockstep lookahead-width oracle; never changes results)")
 	schedFlag    = flag.String("sched", "wheel", "event scheduler: wheel (O(1) timing wheel, default) or heap (binary-heap oracle; never changes results)")
 	tableFlag    = flag.String("table-mode", "compiled", "protocol table dispatch: compiled (generated direct-threaded code, default) or interp (declarative-table oracle; never changes results)")
 	faultsFlag   = flag.String("faults", "", "deterministic fault injection, \"seed:key=value,...\" (keys: delay, delaymax, dup, dupdelay, stall, stallperiod, stallcycles, trap, trapextra)")
@@ -93,6 +94,7 @@ func main() {
 		Verify:         *verifyFlag,
 		Shards:         *shardsFlag,
 		ShardWorkers:   *shardWFlag,
+		WindowMode:     *windowFlag,
 		Scheduler:      *schedFlag,
 		TableMode:      *tableFlag,
 		Faults:         *faultsFlag,
@@ -181,6 +183,9 @@ func main() {
 		cfg.Procs, cfg.Scheme, cfg.Pointers, cfg.TrapService, maxInt(cfg.Contexts, 1))
 	if cfg.Shards > 0 {
 		fmt.Printf("engine:    windowed sharded, %d shards\n", cfg.Shards)
+		if cfg.WindowMode != "" && cfg.WindowMode != "adaptive" {
+			fmt.Printf("windows:   %s width (results identical to the default adaptive)\n", cfg.WindowMode)
+		}
 	}
 	if cfg.Scheduler != "" && cfg.Scheduler != "wheel" {
 		fmt.Printf("scheduler: %s (results identical to the default wheel)\n", cfg.Scheduler)

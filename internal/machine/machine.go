@@ -54,6 +54,13 @@ type Config struct {
 	// order, so cycle counts are bit-identical under either; the heap
 	// exists as a cross-check oracle.
 	Scheduler sim.SchedulerKind
+	// WindowMode selects how the sharded engine sizes its windows: the
+	// default slack-adaptive lookahead (sim.WindowAdaptive) or the
+	// fixed-width oracle (sim.WindowFixed). Both flush deferred sends in
+	// identical canonical order, so results are bit-identical under
+	// either; the fixed mode exists as a cross-check oracle. Ignored when
+	// Shards == 0.
+	WindowMode sim.WindowMode
 	// Shards, when positive, runs the simulation on the windowed sharded
 	// engine: nodes are split into Shards contiguous tiles, each with its
 	// own event heap, executed concurrently in conservative time windows
@@ -181,10 +188,13 @@ func New(cfg Config) *Machine {
 		for id := range m.nodeShard {
 			m.nodeShard[id] = id * k / n
 		}
-		m.ports = m.Net.ShardPorts(m.engines, m.nodeShard)
 		window := mcfg.MinPacketLatency(coherence.MinMsgFlits)
+		m.ports = m.Net.ShardPorts(m.engines, m.nodeShard, window)
 		m.sharded = sim.NewShardedEngine(m.engines, window,
-			func(limit sim.Time) { m.Net.FlushWindow(limit) }, cfg.ShardWorkers)
+			func(before sim.Time, mins []sim.Time) { m.Net.FlushWindow(before, mins) },
+			cfg.ShardWorkers)
+		m.sharded.SetWindowMode(cfg.WindowMode)
+		m.sharded.SetHeldProbe(m.Net.HeldMin)
 	} else {
 		eng := sim.New()
 		eng.SetScheduler(cfg.Scheduler)

@@ -194,10 +194,10 @@ type Network struct {
 	freeDels []*delivery
 
 	// Sharded mode (see sharded.go): per-shard injection ports, the
-	// node→shard map, and the barrier's merge scratch buffer.
+	// node→shard map, and the lookahead width.
 	ports     []*ShardPort
 	nodeShard []int
-	flushBuf  sendLog
+	window    sim.Time
 }
 
 // delivery carries one in-flight packet from its delivery event to the
@@ -525,7 +525,7 @@ func (nw *Network) deliverAt(at sim.Time, pkt *Packet, injected sim.Time, pooled
 func (nw *Network) InFlight() int {
 	n := nw.inflight
 	for _, p := range nw.ports {
-		n += p.inflight + len(p.log)
+		n += p.inflight + len(p.log) - p.logHead
 	}
 	return n
 }

@@ -2,7 +2,6 @@ package mesh
 
 import (
 	"fmt"
-	"sort"
 
 	"limitless/internal/sim"
 )
@@ -12,7 +11,7 @@ import (
 // (src == dst) deliveries stay on the shard's engine, and every packet
 // between distinct nodes — whether or not the destination lies in the same
 // shard — is deferred into the port's send log. At each window barrier
-// FlushWindow replays all deferred sends in one canonical order through the
+// FlushWindow replays deferred sends in one canonical order through the
 // shared contention model (channels, ejection ports, jitter), then inserts
 // the delivery events into the destination shards' engines under
 // partition-independent sequence keys.
@@ -27,8 +26,18 @@ import (
 // than in the sequential engine's event-interleaving order, so windowed
 // results are a distinct (equally valid, equally deterministic) timing
 // semantics from the Shards=0 engine.
+//
+// FlushWindow takes an exclusive send-cycle threshold rather than flushing
+// everything: under adaptive windows a shard may run far ahead and log
+// sends the other shards could still precede, so only sends below the
+// threshold (chosen by the window driver so no earlier send can still
+// occur) are replayed; the rest stay logged for a later barrier. Because
+// every flushed batch lies wholly below every later batch, the
+// concatenation of batches is the same canonical claim order no matter how
+// window boundaries carve it up — which is exactly why adaptive and fixed
+// windows produce bit-identical results.
 
-// deferredSend is one logged injection awaiting the window barrier.
+// deferredSend is one logged injection awaiting a window barrier.
 type deferredSend struct {
 	at       sim.Time
 	src, dst NodeID
@@ -36,28 +45,49 @@ type deferredSend struct {
 	payload  any
 }
 
-// sendLog sorts deferred sends by (send cycle, source node); sort.Stable
-// preserves each source's program order within a cycle.
+// sendLog holds one shard's deferred sends. Between barriers the region
+// past the consumed head is the concatenation of a (cycle, src)-sorted
+// prefix retained by the previous partial flush and newer appends in
+// engine-time order; sortPending restores full (cycle, src, program-order)
+// order with a stable insertion sort — near-linear on the almost-sorted log.
 type sendLog []deferredSend
 
-func (l sendLog) Len() int      { return len(l) }
-func (l sendLog) Swap(i, j int) { l[i], l[j] = l[j], l[i] }
-func (l sendLog) Less(i, j int) bool {
-	if l[i].at != l[j].at {
-		return l[i].at < l[j].at
+// before orders log entries by (send cycle, source node).
+func (e *deferredSend) before(o *deferredSend) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return l[i].src < l[j].src
+	return e.src < o.src
+}
+
+func (l sendLog) sortPending() {
+	for i := 1; i < len(l); i++ {
+		if !l[i].before(&l[i-1]) {
+			continue
+		}
+		e := l[i]
+		j := i - 1
+		for j >= 0 && e.before(&l[j]) {
+			l[j+1] = l[j]
+			j--
+		}
+		l[j+1] = e
+	}
 }
 
 // ShardPort is one shard's interface to the network. It satisfies the same
 // SendFrom contract as Network and is bound to the shard's engine; it may
 // only be used from the goroutine currently executing that engine.
 type ShardPort struct {
-	nw  *Network
-	eng *sim.Engine
+	nw    *Network
+	eng   *sim.Engine
+	shard int
 
 	stats    Stats
 	log      sendLog
+	logHead  int      // entries below logHead were consumed by earlier flushes
+	logDirty bool     // true when appends since the last flush may be out of order
+	logMin   sim.Time // earliest pending send cycle in log; Forever when empty
 	freePkts []*Packet
 	freeDels []*delivery
 	inflight int // deliveries scheduled on this shard's engine, not yet ejected
@@ -71,7 +101,10 @@ func (p *ShardPort) Stats() Stats { return p.stats }
 
 // SendFrom injects a packet from a node owned by this shard. Local
 // deliveries are scheduled immediately on the shard engine; everything else
-// is deferred to the next window barrier.
+// is deferred to a window barrier. Deferring also clamps the shard's
+// current run one lookahead width past the send cycle, so under adaptive
+// windows the shard never outruns the delivery of its own earliest send
+// (under fixed windows the clamp is at or beyond the window end — a no-op).
 func (p *ShardPort) SendFrom(src, dst NodeID, flits int, payload any) {
 	if flits <= 0 {
 		panic("mesh: packet with no flits")
@@ -87,6 +120,11 @@ func (p *ShardPort) SendFrom(src, dst NodeID, flits int, payload any) {
 		return
 	}
 	p.log = append(p.log, deferredSend{at: now, src: src, dst: dst, flits: flits, payload: payload})
+	p.logDirty = true
+	if now < p.logMin {
+		p.logMin = now
+	}
+	p.eng.ClampRunLimit(now + nw.window - 1)
 }
 
 // schedule borrows a pooled packet and delivery record and queues the
@@ -122,13 +160,28 @@ func (p *ShardPort) schedule(at sim.Time, seq uint64, seqKey bool, src, dst Node
 // OnEvent implements sim.Handler: it ejects one packet at its destination,
 // accounting stats to this shard.
 func (p *ShardPort) OnEvent(arg any) {
+	p.eject1(arg, p.eng.Now())
+}
+
+// OnEvents implements sim.BatchHandler: every packet whose ejection lands
+// in the same cycle on this shard is delivered through one call, exactly
+// like the sequential Network's batch ejection.
+func (p *ShardPort) OnEvents(args []any) {
+	now := p.eng.Now()
+	for _, arg := range args {
+		p.eject1(arg, now)
+	}
+}
+
+// eject1 delivers one scheduled packet at cycle now.
+func (p *ShardPort) eject1(arg any, now sim.Time) {
 	d := arg.(*delivery)
 	pkt, injected := d.pkt, d.injected
 	d.pkt = nil
 	p.freeDels = append(p.freeDels, d)
 	p.inflight--
 
-	lat := p.eng.Now() - injected
+	lat := now - injected
 	p.stats.Packets++
 	p.stats.Flits += uint64(pkt.Flits)
 	p.stats.TotalLatency += lat
@@ -145,13 +198,17 @@ func (p *ShardPort) OnEvent(arg any) {
 }
 
 // ShardPorts switches the network into sharded mode: nodeShard maps each
-// node to the index of the engine that executes it, and the returned ports
-// (one per engine) replace the Network as the controllers' injection
-// interface. Register handlers as usual; deliveries invoke them on the
-// destination node's shard engine.
-func (nw *Network) ShardPorts(engines []*sim.Engine, nodeShard []int) []*ShardPort {
+// node to the index of the engine that executes it, window is the shard
+// driver's lookahead width (MinPacketLatency of the smallest message), and
+// the returned ports (one per engine) replace the Network as the
+// controllers' injection interface. Register handlers as usual; deliveries
+// invoke them on the destination node's shard engine.
+func (nw *Network) ShardPorts(engines []*sim.Engine, nodeShard []int, window sim.Time) []*ShardPort {
 	if len(nodeShard) != nw.n {
 		panic(fmt.Sprintf("mesh: nodeShard has %d entries for %d nodes", len(nodeShard), nw.n))
+	}
+	if window < 1 {
+		panic(fmt.Sprintf("mesh: shard window %d < 1", window))
 	}
 	for id, s := range nodeShard {
 		if s < 0 || s >= len(engines) {
@@ -159,50 +216,125 @@ func (nw *Network) ShardPorts(engines []*sim.Engine, nodeShard []int) []*ShardPo
 		}
 	}
 	nw.nodeShard = nodeShard
+	nw.window = window
 	nw.ports = make([]*ShardPort, len(engines))
 	for i, eng := range engines {
-		nw.ports[i] = &ShardPort{nw: nw, eng: eng}
+		nw.ports[i] = &ShardPort{nw: nw, eng: eng, shard: i, logMin: sim.Forever}
 	}
 	return nw.ports
 }
 
-// FlushWindow applies every send deferred during the window ending at limit
-// (exclusive). It runs single-threaded between windows: deferred sends are
-// merged from all shards, ordered canonically by (send cycle, source node,
-// per-source program order), replayed through the contention model, and the
-// resulting deliveries inserted into the destination shards' engines with
-// barrier-phase sequence keys derived from the same canonical order. Every
-// delivery must land at or after limit — the lookahead guarantee — and a
-// violation panics rather than silently corrupting the timing model.
-func (nw *Network) FlushWindow(limit sim.Time) {
-	buf := nw.flushBuf[:0]
+// HeldMin returns the earliest deferred send cycle still logged across all
+// shard ports, or sim.Forever when nothing is held. Like FlushWindow it
+// must only be called between windows.
+func (nw *Network) HeldMin() sim.Time {
+	min := sim.Forever
 	for _, p := range nw.ports {
-		buf = append(buf, p.log...)
-		for i := range p.log {
-			p.log[i].payload = nil
+		if p.logMin < min {
+			min = p.logMin
 		}
-		p.log = p.log[:0]
 	}
-	sort.Stable(buf)
+	return min
+}
+
+// FlushWindow applies every deferred send with send cycle strictly below
+// before; later sends stay logged. It runs single-threaded between
+// windows: each port's log is restored to (send cycle, source, program
+// order) with a near-linear stable insertion sort, then a k-way merge
+// across the per-port logs replays the heads in canonical order through
+// the contention model — no combined buffer, no comparison-sort of the
+// merged batch — and inserts the resulting deliveries into the destination
+// shards' engines with barrier-phase sequence keys. Every delivery must
+// land at least one lookahead width after its send — the guarantee that
+// makes windowed execution sound — and a violation panics rather than
+// silently corrupting the timing model. When mins is non-nil, mins[k] is
+// lowered to the earliest delivery time inserted into shard k's engine, so
+// the window driver can maintain its deadline cache without re-probing.
+func (nw *Network) FlushWindow(before sim.Time, mins []sim.Time) {
+	ports := nw.ports
+	for _, p := range ports {
+		if p.logDirty {
+			p.log[p.logHead:].sortPending()
+			p.logDirty = false
+		}
+	}
 
 	cycle := sim.Time(-1)
 	ctr := uint32(0)
-	for i := range buf {
-		e := &buf[i]
-		if e.at != cycle {
-			cycle = e.at
-			ctr = 0
+	for {
+		// One scan over the port heads yields the winner and the runner-up;
+		// the winner's log then drains in a tight run for as long as its head
+		// stays ahead of the runner-up — consecutive sends from one shard
+		// cost one comparison each instead of a K-way rescan.
+		var e, second *deferredSend
+		var sp *ShardPort
+		for _, p := range ports {
+			h := p.logHead
+			if h >= len(p.log) {
+				continue
+			}
+			c := &p.log[h]
+			if c.at >= before {
+				continue // log is sorted: this port has nothing below the threshold
+			}
+			switch {
+			case e == nil || c.before(e):
+				e, second, sp = c, e, p
+			case second == nil || c.before(second):
+				second = c
+			}
 		}
-		at := nw.claimPath(e.at, e.src, e.dst, e.flits)
-		if at < limit {
-			panic(fmt.Sprintf("mesh: lookahead violation — packet %d->%d sent at %d delivered at %d inside window ending %d (network latency below the shard window)",
-				e.src, e.dst, e.at, at, limit))
+		if e == nil {
+			break
 		}
-		seq := sim.WindowSeq(e.at, true, ctr)
-		ctr++
-		dp := nw.ports[nw.nodeShard[e.dst]]
-		dp.schedule(at, seq, true, e.src, e.dst, e.flits, e.payload, e.at)
-		e.payload = nil
+		for {
+			sp.logHead++
+			if e.at != cycle {
+				cycle = e.at
+				ctr = 0
+			}
+			at := nw.claimPath(e.at, e.src, e.dst, e.flits)
+			if at < e.at+nw.window {
+				panic(fmt.Sprintf("mesh: lookahead violation — packet %d->%d sent at %d delivered at %d, inside the %d-cycle shard window (network latency below the lookahead)",
+					e.src, e.dst, e.at, at, nw.window))
+			}
+			seq := sim.WindowSeq(e.at, true, ctr)
+			ctr++
+			dp := ports[nw.nodeShard[e.dst]]
+			dp.schedule(at, seq, true, e.src, e.dst, e.flits, e.payload, e.at)
+			e.payload = nil // consumed entries keep no references
+			if mins != nil && at < mins[dp.shard] {
+				mins[dp.shard] = at
+			}
+			h := sp.logHead
+			if h >= len(sp.log) {
+				break
+			}
+			c := &sp.log[h]
+			if c.at >= before || (second != nil && !c.before(second)) {
+				break
+			}
+			e = c
+		}
 	}
-	nw.flushBuf = buf[:0]
+
+	// Refresh each port's held minimum (the surviving region is sorted, so
+	// it is the head entry). A fully consumed log resets in place; a mostly
+	// consumed one compacts so the consumed prefix cannot grow without
+	// bound across partial flushes.
+	for _, p := range ports {
+		switch h := p.logHead; {
+		case h == len(p.log):
+			p.log = p.log[:0]
+			p.logHead = 0
+			p.logMin = sim.Forever
+		case h > 64 && h > len(p.log)/2:
+			n := copy(p.log, p.log[h:])
+			p.log = p.log[:n]
+			p.logHead = 0
+			p.logMin = p.log[0].at
+		default:
+			p.logMin = p.log[h].at
+		}
+	}
 }

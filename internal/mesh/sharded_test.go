@@ -19,7 +19,7 @@ func shardedNet(t *testing.T, cfg Config, shards int) ([]*sim.Engine, []*ShardPo
 		nodeShard[id] = id * shards / n
 	}
 	nw := New(engines[0], cfg)
-	ports := nw.ShardPorts(engines, nodeShard)
+	ports := nw.ShardPorts(engines, nodeShard, cfg.MinPacketLatency(2))
 	return engines, ports, nw, nodeShard
 }
 
@@ -46,8 +46,7 @@ func TestFlushWindowCanonicalMerge(t *testing.T) {
 			a.SendFrom(1, 3, 2, nil)
 			b.SendFrom(2, 3, 2, nil)
 		}
-		window := cfg.MinPacketLatency(2)
-		nw.FlushWindow(window)
+		nw.FlushWindow(sim.Forever, nil)
 		engines[1].Run()
 		return got
 	}
@@ -83,7 +82,7 @@ func TestFlushWindowFIFOPairOrder(t *testing.T) {
 	}
 	ports[0].SendFrom(0, 3, 2, uint64(1))
 	ports[0].SendFrom(0, 3, 2, uint64(2))
-	nw.FlushWindow(cfg.MinPacketLatency(2))
+	nw.FlushWindow(sim.Forever, nil)
 	engines[1].Run()
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("per-source order not preserved: %v", got)
@@ -123,7 +122,7 @@ func TestFlushWindowLookaheadViolationPanics(t *testing.T) {
 			t.Fatal("flush with zero network latency did not panic")
 		}
 	}()
-	nw.FlushWindow(cfg.MinPacketLatency(2))
+	nw.FlushWindow(sim.Forever, nil)
 }
 
 func TestMinPacketLatency(t *testing.T) {
@@ -163,7 +162,7 @@ func TestShardedMatchesSequentialTiming(t *testing.T) {
 		nw.Register(NodeID(id), func(*Packet) { shAt = engines[nodeShard[15]].Now() })
 	}
 	ports[nodeShard[0]].SendFrom(0, 15, 3, nil)
-	nw.FlushWindow(cfg.MinPacketLatency(2))
+	nw.FlushWindow(sim.Forever, nil)
 	engines[nodeShard[15]].Run()
 	if shAt != seqAt {
 		t.Fatalf("sharded uncontended delivery at %d, sequential at %d", shAt, seqAt)

@@ -121,6 +121,13 @@ type Engine struct {
 	cycleSeq bool
 	seqCycle Time
 	cycleCtr uint32
+
+	// runLimit is the limit of the RunUntil in progress. It starts at the
+	// call's limit argument and only ever decreases (ClampRunLimit), so a
+	// model can end the current run early — the adaptive sharded window
+	// uses it to stop an engine one window past its own first deferred
+	// cross-shard send.
+	runLimit Time
 }
 
 // New returns an engine with the clock at cycle 0, using the timing-wheel
@@ -392,14 +399,52 @@ func (e *Engine) Run() Time { return e.RunUntil(Forever) }
 // advances past limit. On the wheel this is the batch-dispatch hot path:
 // whole per-cycle buckets drain without consulting the queue head between
 // events, and the clock jumps directly to each next non-empty cycle.
+//
+// The effective limit is re-read between cycles, so an event callback may
+// lower it mid-run with ClampRunLimit; the cycle being drained always
+// completes.
 func (e *Engine) RunUntil(limit Time) Time {
+	e.runLimit = limit
 	if !e.useHeap {
-		return e.runWheel(limit)
+		e.runWheel()
+		return e.now
 	}
-	for len(e.heap) > 0 && e.heap[0].at <= limit {
+	for len(e.heap) > 0 && e.heap[0].at <= e.runLimit {
 		e.Step()
 	}
 	return e.now
+}
+
+// RunUntilNext is RunUntil fused with the follow-up NextEventTime probe:
+// it executes events with deadlines at or before limit and returns the
+// next pending deadline, or Forever when the queue is empty. The windowed
+// sharded driver calls it once per shard per window, where the separate
+// probe would repeat the scan the run's exit check just did.
+func (e *Engine) RunUntilNext(limit Time) Time {
+	e.runLimit = limit
+	if !e.useHeap {
+		return e.runWheel()
+	}
+	for len(e.heap) > 0 && e.heap[0].at <= e.runLimit {
+		e.Step()
+	}
+	if len(e.heap) == 0 {
+		return Forever
+	}
+	return e.heap[0].at
+}
+
+// ClampRunLimit lowers the limit of the RunUntil currently in progress to
+// at most t. Events of the cycle being executed still complete (t is never
+// below the engine clock in well-formed use), so the run stops at the next
+// cycle boundary past t. Outside a RunUntil the clamp has no lasting
+// effect: every RunUntil call resets the limit. The adaptive sharded
+// window calls this when a model defers its first cross-shard send of a
+// window, capping the shard one lookahead width past the send cycle.
+func (e *Engine) ClampRunLimit(t Time) {
+	if t < e.runLimit {
+		e.runLimit = t
+	}
 }
 
 // RunWhile executes events for as long as cond returns true and events

@@ -166,15 +166,39 @@ func (h *shardedHarness) receive(node int) {
 	// several sources and must order them canonically.
 	h.logs[shard] = append(h.logs[shard], [3]Time{e.Now(), Time(node), Time((node + 1) % n)})
 	h.logs[shard] = append(h.logs[shard], [3]Time{e.Now(), Time(node), Time((node + 3) % n)})
+	// The model contract: a deferred send caps the sending shard's run one
+	// lookahead past the send cycle.
+	e.ClampRunLimit(e.Now() + h.latency - 1)
 }
 
-func (h *shardedHarness) flush(limit Time) {
-	// Mirror mesh.FlushWindow: merge shard logs, stable-sort by
-	// (send time, source), insert under barrier-phase keys.
+// heldMin is the harness's deferred-send probe.
+func (h *shardedHarness) heldMin() Time {
+	min := Forever
+	for _, log := range h.logs {
+		for i := range log {
+			if log[i][0] < min {
+				min = log[i][0]
+			}
+		}
+	}
+	return min
+}
+
+func (h *shardedHarness) flush(before Time, mins []Time) {
+	// Mirror mesh.FlushWindow: gather the sends below the threshold, keep
+	// the rest logged, stable-sort the batch by (send time, source), insert
+	// under barrier-phase keys, and report the earliest insertion per shard.
 	buf := h.buf[:0]
 	for s := range h.logs {
-		buf = append(buf, h.logs[s]...)
-		h.logs[s] = h.logs[s][:0]
+		kept := h.logs[s][:0]
+		for _, e := range h.logs[s] {
+			if e[0] < before {
+				buf = append(buf, e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		h.logs[s] = kept
 	}
 	for i := 1; i < len(buf); i++ { // insertion sort, stable on (time, src)
 		for j := i; j > 0; j-- {
@@ -193,18 +217,28 @@ func (h *shardedHarness) flush(limit Time) {
 			cycle, ctr = at, 0
 		}
 		deliver := at + h.latency
-		if deliver < limit {
+		if deliver < before {
 			panic("harness lookahead violation")
 		}
 		node := to
 		h.engineOf(node).AtHandlerSeq(deliver, WindowSeq(at, true, ctr), fnHandler(func(any) { h.receive(node) }), nil)
 		ctr++
+		if sh := h.nodeOf[node]; deliver < mins[sh] {
+			mins[sh] = deliver
+		}
 	}
 	h.buf = buf[:0]
 }
 
-func (h *shardedHarness) run(workers int) ([][]string, Time) {
+func (h *shardedHarness) engine(workers int, mode WindowMode) *ShardedEngine {
 	s := NewShardedEngine(h.engines, h.latency, h.flush, workers)
+	s.SetWindowMode(mode)
+	s.SetHeldProbe(h.heldMin)
+	return s
+}
+
+func (h *shardedHarness) run(workers int, mode WindowMode) ([][]string, Time) {
+	s := h.engine(workers, mode)
 	for n := range h.nodeOf {
 		node := n
 		h.engineOf(node).AtHandler(Time(n%3), fnHandler(func(any) { h.receive(node) }), nil)
@@ -215,7 +249,7 @@ func (h *shardedHarness) run(workers int) ([][]string, Time) {
 }
 
 func TestShardedEngineDeterministicAcrossShardsAndWorkers(t *testing.T) {
-	ref, refEnd := newShardedHarness(8, 1, 4, 20).run(1)
+	ref, refEnd := newShardedHarness(8, 1, 4, 20).run(1, WindowFixed)
 	total := 0
 	for _, tr := range ref {
 		total += len(tr)
@@ -223,21 +257,23 @@ func TestShardedEngineDeterministicAcrossShardsAndWorkers(t *testing.T) {
 	if total == 0 {
 		t.Fatal("reference run produced no events")
 	}
-	for _, shards := range []int{2, 4, 8} {
-		for _, workers := range []int{1, 2, 4} {
-			got, end := newShardedHarness(8, shards, 4, 20).run(workers)
-			if end != refEnd {
-				t.Fatalf("shards=%d workers=%d: end %d != %d", shards, workers, end, refEnd)
-			}
-			for node := range ref {
-				if len(got[node]) != len(ref[node]) {
-					t.Fatalf("shards=%d workers=%d: node %d ran %d events, want %d",
-						shards, workers, node, len(got[node]), len(ref[node]))
+	for _, mode := range []WindowMode{WindowFixed, WindowAdaptive} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, workers := range []int{1, 2, 4} {
+				got, end := newShardedHarness(8, shards, 4, 20).run(workers, mode)
+				if end != refEnd {
+					t.Fatalf("mode=%v shards=%d workers=%d: end %d != %d", mode, shards, workers, end, refEnd)
 				}
-				for i := range ref[node] {
-					if got[node][i] != ref[node][i] {
-						t.Fatalf("shards=%d workers=%d: node %d event %d at %s, want %s",
-							shards, workers, node, i, got[node][i], ref[node][i])
+				for node := range ref {
+					if len(got[node]) != len(ref[node]) {
+						t.Fatalf("mode=%v shards=%d workers=%d: node %d ran %d events, want %d",
+							mode, shards, workers, node, len(got[node]), len(ref[node]))
+					}
+					for i := range ref[node] {
+						if got[node][i] != ref[node][i] {
+							t.Fatalf("mode=%v shards=%d workers=%d: node %d event %d at %s, want %s",
+								mode, shards, workers, node, i, got[node][i], ref[node][i])
+						}
 					}
 				}
 			}
@@ -246,20 +282,55 @@ func TestShardedEngineDeterministicAcrossShardsAndWorkers(t *testing.T) {
 }
 
 func TestShardedEngineRunUntil(t *testing.T) {
-	h := newShardedHarness(4, 2, 4, 100)
-	s := NewShardedEngine(h.engines, h.latency, h.flush, 1)
-	for n := range h.nodeOf {
-		node := n
-		h.engineOf(node).AtHandler(Time(n), fnHandler(func(any) { h.receive(node) }), nil)
+	for _, mode := range []WindowMode{WindowFixed, WindowAdaptive} {
+		h := newShardedHarness(4, 2, 4, 100)
+		s := h.engine(1, mode)
+		for n := range h.nodeOf {
+			node := n
+			h.engineOf(node).AtHandler(Time(n), fnHandler(func(any) { h.receive(node) }), nil)
+		}
+		end := s.RunUntil(50)
+		s.Stop()
+		if end > 50 {
+			t.Fatalf("mode=%v: RunUntil(50) executed an event at %d", mode, end)
+		}
+		for _, e := range h.engines {
+			if nt, ok := e.NextEventTime(); ok && nt <= 50 {
+				t.Fatalf("mode=%v: event at %d left unexecuted below the limit", mode, nt)
+			}
+		}
+		if hm := h.heldMin(); hm != Forever && hm+h.latency <= 50 {
+			t.Fatalf("mode=%v: send at %d held past its delivery window", mode, hm)
+		}
 	}
-	end := s.RunUntil(50)
-	s.Stop()
-	if end > 50 {
-		t.Fatalf("RunUntil(50) executed an event at %d", end)
-	}
-	for _, e := range h.engines {
-		if nt, ok := e.NextEventTime(); ok && nt <= 50 {
-			t.Fatalf("event at %d left unexecuted below the limit", nt)
+}
+
+// TestShardedEngineRunUntilResume: splitting a run at arbitrary RunUntil
+// boundaries must not change the executed event sequence in either mode —
+// held sends carry across the boundary and flush in the same canonical order.
+func TestShardedEngineRunUntilResume(t *testing.T) {
+	ref, refEnd := newShardedHarness(8, 4, 4, 20).run(1, WindowFixed)
+	for _, mode := range []WindowMode{WindowFixed, WindowAdaptive} {
+		h := newShardedHarness(8, 4, 4, 20)
+		s := h.engine(2, mode)
+		for n := range h.nodeOf {
+			node := n
+			h.engineOf(node).AtHandler(Time(n%3), fnHandler(func(any) { h.receive(node) }), nil)
+		}
+		for limit := Time(10); ; limit += 10 {
+			if end := s.RunUntil(limit); end >= refEnd {
+				break
+			}
+		}
+		end := s.Run()
+		s.Stop()
+		if end != refEnd {
+			t.Fatalf("mode=%v: chunked end %d != %d", mode, end, refEnd)
+		}
+		for node := range ref {
+			if fmt.Sprint(h.traces[node]) != fmt.Sprint(ref[node]) {
+				t.Fatalf("mode=%v: node %d trace %v != %v", mode, node, h.traces[node], ref[node])
+			}
 		}
 	}
 }
@@ -270,5 +341,91 @@ func TestShardedEngineWindowValidation(t *testing.T) {
 			t.Fatal("window width 0 did not panic")
 		}
 	}()
-	NewShardedEngine([]*Engine{New()}, 0, func(Time) {}, 1)
+	NewShardedEngine([]*Engine{New()}, 0, func(Time, []Time) {}, 1)
+}
+
+func TestParseWindowMode(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want WindowMode
+	}{{"", WindowAdaptive}, {"adaptive", WindowAdaptive}, {"fixed", WindowFixed}} {
+		got, err := ParseWindowMode(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseWindowMode(%q) = %v, %v", tc.name, got, err)
+		}
+		if got.String() == "" {
+			t.Fatalf("WindowMode %d has no name", got)
+		}
+	}
+	if _, err := ParseWindowMode("lockstep"); err == nil {
+		t.Fatal("unknown window mode accepted")
+	}
+}
+
+// TestShardedEngineStopRestart: the worker pool must survive
+// Stop → Run → Stop cycles, with each restarted run producing the same
+// results as an uninterrupted one.
+func TestShardedEngineStopRestart(t *testing.T) {
+	ref, refEnd := newShardedHarness(8, 4, 4, 30).run(1, WindowFixed)
+	h := newShardedHarness(8, 4, 4, 30)
+	s := h.engine(4, WindowAdaptive)
+	for n := range h.nodeOf {
+		node := n
+		h.engineOf(node).AtHandler(Time(n%3), fnHandler(func(any) { h.receive(node) }), nil)
+	}
+	var end Time
+	for limit := Time(25); ; limit += 25 {
+		end = s.RunUntil(limit)
+		s.Stop() // park and tear down the pool mid-simulation
+		s.Stop() // second Stop must be a harmless no-op
+		if end >= refEnd {
+			break
+		}
+	}
+	end = s.Run() // run after Stop restarts the pool
+	s.Stop()
+	if end != refEnd {
+		t.Fatalf("stop/restart end %d != %d", end, refEnd)
+	}
+	for node := range ref {
+		if fmt.Sprint(h.traces[node]) != fmt.Sprint(ref[node]) {
+			t.Fatalf("node %d trace %v != %v", node, h.traces[node], ref[node])
+		}
+	}
+}
+
+// TestShardedEngineStaleWakeToken: a spurious token in a parked runner's wake
+// channel must not make it execute a window share — the epoch word, not the
+// wake, gates execution. The runner must then still run exactly one share per
+// real dispatch.
+func TestShardedEngineStaleWakeToken(t *testing.T) {
+	engines := []*Engine{New(), New()}
+	for _, e := range engines {
+		e.SetCycleSeq(true)
+	}
+	var ran [2]int
+	s := NewShardedEngine(engines, 1, func(Time, []Time) {}, 2)
+	defer s.Stop()
+	engines[0].AtHandler(0, fnHandler(func(any) { ran[0]++ }), nil)
+	engines[1].AtHandler(0, fnHandler(func(any) { ran[1]++ }), nil)
+	s.Run()
+	if ran[0] != 1 || ran[1] != 1 {
+		t.Fatalf("first run executed %v, want one event per shard", ran)
+	}
+	// The pool is idle; runner 1 is spinning toward its park point. Inject a
+	// stale token so its next park consumes a wake that carries no epoch.
+	if len(s.runners) != 1 {
+		t.Fatalf("expected 1 background runner, have %d", len(s.runners))
+	}
+	s.runners[0].wake <- struct{}{}
+	// Give each engine several events across distinct windows; each dispatch
+	// must execute every pending share exactly once despite the stale token.
+	for i := 0; i < 4; i++ {
+		engines[0].AtHandler(Time(10+i*10), fnHandler(func(any) { ran[0]++ }), nil)
+		engines[1].AtHandler(Time(10+i*10), fnHandler(func(any) { ran[1]++ }), nil)
+	}
+	s.Run()
+	if ran[0] != 5 || ran[1] != 5 {
+		t.Fatalf("after stale token: executed %v, want 5 per shard", ran)
+	}
 }

@@ -304,24 +304,33 @@ func (e *Engine) stepWheel() bool {
 	return true
 }
 
-// runWheel executes events with deadlines at or before limit using
+// runWheel executes events with deadlines at or before e.runLimit using
 // per-cycle batch dispatch: each iteration advances the clock directly to
 // the next non-empty bucket and drains the whole bucket without
 // re-consulting the queue head between events. Events a callback schedules
 // for the current cycle append to the draining bucket with strictly larger
 // sequence keys (engine numbering is monotone within a cycle), so the drain
-// order remains exactly ascending (deadline, sequence).
+// order remains exactly ascending (deadline, sequence). The limit is
+// re-read per cycle so ClampRunLimit can end the run early at the next
+// cycle boundary.
 //
 // On top of the per-bucket drain sits the event-batch fast path: a run of
 // consecutive pending events sharing one BatchHandler is collected and
 // delivered through a single OnEvents call — one controller entry per
 // (cycle, handler) instead of one virtual dispatch per event.
-func (e *Engine) runWheel(limit Time) Time {
+//
+// The return value is the next pending deadline past the limit (Forever
+// when the queue drained) — the exit probe doubles as the follow-up
+// NextEventTime the windowed driver would otherwise repeat.
+func (e *Engine) runWheel() Time {
 	w := &e.wh
 	for {
 		t, ok := w.next()
-		if !ok || t > limit {
-			return e.now
+		if !ok {
+			return Forever
+		}
+		if t > e.runLimit {
+			return t
 		}
 		w.advance(t)
 		idx := int(t) & wheelMask

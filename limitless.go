@@ -226,6 +226,17 @@ type Config struct {
 	// ShardWorkers caps the goroutines executing shards concurrently
 	// (0 = GOMAXPROCS). It affects only wall-clock speed, never results.
 	ShardWorkers int
+	// WindowMode selects how the sharded engine sizes its time windows:
+	// "adaptive" (the default; window ends derived from the global slack —
+	// every shard's next pending deadline and the earliest deferred send —
+	// so quiet phases run wide windows with few barriers) or "fixed" (the
+	// original lockstep window of exactly the lookahead width, kept as the
+	// cross-check oracle). Both flush cross-shard sends in the same
+	// canonical order, so every cycle count and statistic is bit-identical
+	// under either — the window-mode differential tests and fuzz target
+	// assert it; the choice affects only wall-clock speed. Ignored when
+	// Shards == 0.
+	WindowMode string
 	// DisableEventPool turns off the simulation engine's event recycling.
 	// Results are bit-identical either way (the pooled-determinism tests
 	// assert it); the switch exists for that cross-check and for memory
@@ -325,8 +336,13 @@ func (c Config) build() (*machine.Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("limitless: bad Scheduler: %w", err)
 	}
+	wm, err := sim.ParseWindowMode(c.WindowMode)
+	if err != nil {
+		return nil, fmt.Errorf("limitless: bad WindowMode: %w", err)
+	}
 	mc := machine.Config{Width: w, Height: h, Contexts: contexts, Params: params, CacheWays: c.CacheWays,
-		DisableEventPool: c.DisableEventPool, Scheduler: sched, Shards: c.Shards, ShardWorkers: c.ShardWorkers,
+		DisableEventPool: c.DisableEventPool, Scheduler: sched, WindowMode: wm,
+		Shards: c.Shards, ShardWorkers: c.ShardWorkers,
 		Watchdog: sim.Time(c.WatchdogCycles)}
 	if c.Faults != "" {
 		fcfg, err := fault.Parse(c.Faults)

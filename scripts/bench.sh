@@ -4,16 +4,27 @@
 # Runs BenchmarkSimulatorThroughput (the sequential 64-processor LimitLESS(4)
 # Weather run in bench_test.go), its binary-heap-scheduler twin
 # BenchmarkSimulatorThroughputHeap, its interpreted-protocol-table twin
-# BenchmarkSimulatorThroughputInterp, and BenchmarkShardedThroughput/shards-4
-# (the same machine on the windowed sharded engine) five times each with
-# allocation stats, plus the scheduler microbenchmarks in internal/sim
-# (BenchmarkSchedule, BenchmarkFireDrain: wheel vs heap, near vs far
-# deadline mixes), prints the raw `go test -bench` output, and writes a
-# BENCH_<utc-timestamp>.json file in the repo root summarizing the best
-# iteration of each as one trajectory point per benchmark (each tagged with
-# the scheduler it ran on). Keeping one JSON file per run builds a
-# throughput trajectory across PRs: compare the `simcycles_s` and
-# `allocs_per_op` fields of matching points in successive files.
+# BenchmarkSimulatorThroughputInterp, the windowed sharded engine at
+# shards-4/8/16/64 plus the 256-processor BenchmarkShardedP256 scale point,
+# five times each with allocation stats, plus the scheduler microbenchmarks
+# in internal/sim (BenchmarkSchedule, BenchmarkFireDrain: wheel vs heap,
+# near vs far deadline mixes), prints the raw `go test -bench` output, and
+# writes a BENCH_<utc-timestamp>.json file in the repo root summarizing the
+# best iteration of each as one trajectory point per benchmark (each tagged
+# with the scheduler it ran on and the GOMAXPROCS it was measured under).
+#
+# The sharded benchmarks are swept across GOMAXPROCS 1, 2, and 4 — each
+# value capped by the host's core count, so a 1-core box records only the
+# GOMAXPROCS=1 series and a 4-core box all three. GOMAXPROCS=1 is the
+# coordination-overhead measurement (how much the windowed machinery costs
+# with no parallelism to pay for it); the higher values measure actual
+# parallel speedup. Sweep points beyond GOMAXPROCS=1 carry an `@gN` suffix
+# on their benchmark key, so the GOMAXPROCS=1 series keeps the bare names
+# older BENCH_*.json baselines use and -compare matches like with like.
+#
+# Keeping one JSON file per run builds a throughput trajectory across PRs:
+# compare the `simcycles_s` and `allocs_per_op` fields of matching points
+# in successive files.
 #
 # With -compare FILE, the new point is additionally diffed against the
 # named earlier BENCH_*.json: for every benchmark present in both files
@@ -38,32 +49,52 @@ if [ "${1:-}" = "-compare" ]; then
 fi
 
 stamp=$(date -u +%Y%m%dT%H%M%SZ)
+cores=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-go test -run '^$' -bench='SimulatorThroughput|ShardedThroughput/shards-4$' \
-    -benchmem -count=5 "$@" . | tee "$out"
-go test -run '^$' -bench='Schedule|FireDrain' \
+# Sequential engine points and scheduler microbenchmarks: single-threaded
+# by construction, measured once at GOMAXPROCS=1.
+echo "### gomaxprocs=1" | tee "$out"
+GOMAXPROCS=1 go test -run '^$' -bench='SimulatorThroughput' \
+    -benchmem -count=5 "$@" . | tee -a "$out"
+GOMAXPROCS=1 go test -run '^$' -bench='Schedule|FireDrain' \
     -benchmem -count=3 "$@" ./internal/sim | tee -a "$out"
 
+# Sharded engine sweep: the same benchmarks under each GOMAXPROCS value the
+# host can actually provide (a 1-core box records only the g=1 series).
+for g in 1 2 4; do
+    if [ "$g" -gt "$cores" ]; then
+        echo "### skipping GOMAXPROCS=$g (host has $cores core(s))"
+        continue
+    fi
+    echo "### gomaxprocs=$g" | tee -a "$out"
+    GOMAXPROCS=$g go test -run '^$' \
+        -bench='ShardedThroughput/shards-(4|8|16|64)$|ShardedP256' \
+        -benchmem -count=5 "$@" . | tee -a "$out"
+done
+
 # Benchmark lines look like:
-#   BenchmarkSimulatorThroughput-8         1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
-#   BenchmarkShardedThroughput/shards-4-8  1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
-#   BenchmarkFireDrain/wheel/near-8  16989  21082 ns/op  48572774 events/s  21 B/op  0 allocs/op
+#   BenchmarkSimulatorThroughput         1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
+#   BenchmarkShardedThroughput/shards-4-2  1  4100032 ns/op  357000 simcycles/s  17634956 B/op  108360 allocs/op
+#   BenchmarkFireDrain/wheel/near  16989  21082 ns/op  48572774 events/s  21 B/op  0 allocs/op
+# (Go appends a -N suffix with the run's GOMAXPROCS when it is > 1.)
 # Take the best (max simcycles/s or events/s) iteration per benchmark;
 # allocs and bytes are deterministic per run so any line's values serve.
 # ShardWorkers is 0 in bench_test.go, meaning the worker pool sizes itself
-# to GOMAXPROCS.
+# to GOMAXPROCS; `### gomaxprocs=N` markers carry the sweep value into the
+# per-point records.
 awk -v stamp="$stamp" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v gover="$(go env GOVERSION)" \
-    -v maxprocs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)" '
+    -v cores="$cores" '
 BEGIN {
+    g = 1
     printf "{\n"
     printf "  \"timestamp\": \"%s\",\n", stamp
     printf "  \"commit\": \"%s\",\n", commit
     printf "  \"go\": \"%s\",\n", gover
-    printf "  \"gomaxprocs\": %d,\n", maxprocs + 0
+    printf "  \"cores\": %d,\n", cores + 0
     printf "  \"points\": [\n"
 }
 function flush_point() {
@@ -72,20 +103,24 @@ function flush_point() {
     tmode = "compiled"
     if (match(name, /shards-[0-9]+/)) {
         shards = substr(name, RSTART + 7, RLENGTH - 7) + 0
-        workers = maxprocs + 0
         engine = "windowed-sharded"
     }
+    if (name ~ /^ShardedP256/) { shards = 16; engine = "windowed-sharded" }
+    if (shards > 0) { workers = pg + 0; if (workers > shards) workers = shards }
     if (name ~ /^(Schedule|FireDrain)/) { engine = "scheduler-micro"; tmode = "none" }
     if (name ~ /Heap$/ || name ~ /\/heap\//) sched = "heap"
     if (name ~ /Interp$/) tmode = "interp"
+    key = name
+    if (pg + 0 > 1) key = name "@g" pg
     if (np++) printf ",\n"
     printf "    {\n"
-    printf "      \"benchmark\": \"%s\",\n", name
+    printf "      \"benchmark\": \"%s\",\n", key
     printf "      \"engine\": \"%s\",\n", engine
     printf "      \"scheduler\": \"%s\",\n", sched
     printf "      \"table_mode\": \"%s\",\n", tmode
     printf "      \"shards\": %d,\n", shards
     printf "      \"workers\": %d,\n", workers
+    printf "      \"gomaxprocs\": %d,\n", pg + 0
     printf "      \"iterations\": %d,\n", n
     printf "      \"simcycles_s\": %.0f,\n", best
     printf "      \"events_per_s\": %.0f,\n", evps
@@ -95,12 +130,13 @@ function flush_point() {
     printf "    }"
     best = 0; nsop = 0; n = 0; evps = 0
 }
-/^Benchmark(SimulatorThroughput|ShardedThroughput|Schedule|FireDrain)/ {
-    # Strip the trailing -GOMAXPROCS suffix Go appends when GOMAXPROCS > 1.
+/^### gomaxprocs=/ { sub(/^### gomaxprocs=/, ""); g = $0 + 0; next }
+/^Benchmark(SimulatorThroughput|ShardedThroughput|ShardedP256|Schedule|FireDrain)/ {
     bench = $1
     sub(/^Benchmark/, "", bench)
-    if (maxprocs + 0 > 1) sub("-" maxprocs "$", "", bench)
-    if (bench != name) { flush_point(); name = bench }
+    # Strip the trailing -GOMAXPROCS suffix Go appends when GOMAXPROCS > 1.
+    if (g + 0 > 1) sub("-" g "$", "", bench)
+    if (bench != name || g + 0 != pg + 0) { flush_point(); name = bench; pg = g }
     for (i = 1; i <= NF; i++) {
         if ($i == "simcycles/s" && $(i-1) + 0 > best) best = $(i-1) + 0
         if ($i == "events/s" && $(i-1) + 0 > evps) evps = $(i-1) + 0
@@ -125,7 +161,9 @@ if [ -n "$compare" ]; then
     echo "comparing against $compare (regression tolerance ${BENCH_TOLERANCE_PCT:-5}%):"
     # The JSON is written by this script, so the "key": value layout is
     # fixed; pull (benchmark, simcycles_s) pairs with awk rather than
-    # requiring a JSON tool.
+    # requiring a JSON tool. Sweep points carry their GOMAXPROCS in the
+    # benchmark key (`@gN`), so series measured under different GOMAXPROCS
+    # never compare against each other.
     awk -v tol="${BENCH_TOLERANCE_PCT:-5}" '
     function val(s) { gsub(/[",]/, "", s); return s }
     /"benchmark":/ { name = val($2) }
@@ -148,4 +186,4 @@ if [ -n "$compare" ]; then
         }
         exit status
     }' "$compare" "BENCH_${stamp}.json"
-fi
+    fi

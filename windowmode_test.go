@@ -1,0 +1,120 @@
+package limitless_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	limitless "limitless"
+)
+
+// runBothWindowModes executes cfg under adaptive and fixed window sizing
+// and fails unless every field of the two Results — cycle counts and all
+// statistics — is bit-identical.
+func runBothWindowModes(t testing.TB, cfg limitless.Config, mk func() limitless.Workload, label string) {
+	cfg.WindowMode = "adaptive"
+	adaptive, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatalf("%s adaptive: %v", label, err)
+	}
+	cfg.WindowMode = "fixed"
+	fixed, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatalf("%s fixed: %v", label, err)
+	}
+	if adaptive != fixed {
+		t.Fatalf("%s: adaptive and fixed windows disagree:\nadaptive: %+v\nfixed:    %+v",
+			label, adaptive, fixed)
+	}
+}
+
+// TestWindowModeEquivalence is the window-sizing analogue of the
+// wheel-vs-heap and compiled-vs-interp cross-checks: for every scheme, shard
+// count, and worker count, slack-adaptive windows must reproduce the
+// fixed-width lockstep results bit-identically — same cycle count, same
+// message counts, same traps, same everything. Adaptive windows batch the
+// same canonical flush sequence differently; nothing downstream may notice.
+func TestWindowModeEquivalence(t *testing.T) {
+	for _, scheme := range allSchemes(t) {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			for _, shards := range []int{2, 4} {
+				for _, workers := range []int{1, 2} {
+					cfg := limitless.Config{
+						Procs: 16, Scheme: scheme, Pointers: 4, TrapService: 50,
+						Verify: true, Shards: shards, ShardWorkers: workers,
+					}
+					label := fmt.Sprintf("%s/shards=%d/workers=%d", scheme, shards, workers)
+					runBothWindowModes(t, cfg, func() limitless.Workload { return limitless.Weather(16) }, label)
+				}
+			}
+		})
+	}
+}
+
+// windowModeTrial builds one randomized configuration + workload pair from
+// four fuzz bytes and cross-checks the two window modes on it. Shared by the
+// randomized test and the fuzz target.
+func windowModeTrial(t testing.TB, schemeB, wlB, shardsB, knobsB byte) {
+	schemes := allSchemes(t)
+	scheme := schemes[int(schemeB)%len(schemes)]
+	const procs = 16
+
+	var mk func() limitless.Workload
+	var wlName string
+	switch wlB % 4 {
+	case 0:
+		mk = func() limitless.Workload { return limitless.Weather(procs) }
+		wlName = "weather"
+	case 1:
+		mk = func() limitless.Workload { return limitless.Synthetic(procs, 2+int(knobsB)%8) }
+		wlName = "synthetic"
+	case 2:
+		mk = func() limitless.Workload { return limitless.Migratory(procs, 2) }
+		wlName = "migratory"
+	default:
+		mk = func() limitless.Workload { return limitless.Multigrid(procs) }
+		wlName = "multigrid"
+	}
+
+	cfg := limitless.Config{
+		Procs:        procs,
+		Scheme:       scheme,
+		Pointers:     1 + int(knobsB>>4)%4,
+		TrapService:  25 + int64(knobsB%4)*25,
+		ModifyGrant:  knobsB&1 != 0,
+		Shards:       []int{2, 4}[int(shardsB)%2],
+		ShardWorkers: 1 + int(shardsB>>4)%2,
+	}
+	label := fmt.Sprintf("%s/%s/ptrs=%d/ts=%d/mg=%v/shards=%d/workers=%d",
+		scheme, wlName, cfg.Pointers, cfg.TrapService, cfg.ModifyGrant, cfg.Shards, cfg.ShardWorkers)
+	runBothWindowModes(t, cfg, mk, label)
+}
+
+// TestWindowModeEquivalenceRandom replays seeded random configurations
+// through both window modes — the randomized counterpart of
+// FuzzWindowModeEquivalence, always on in `go test`.
+func TestWindowModeEquivalenceRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(0x57161d05))
+	for round := 0; round < 12; round++ {
+		var b [4]byte
+		rng.Read(b[:])
+		windowModeTrial(t, b[0], b[1], b[2], b[3])
+	}
+}
+
+// FuzzWindowModeEquivalence lets the fuzzer drive the scheme, workload,
+// sharding and protocol knobs; any reachable sharded configuration must
+// produce bit-identical results under adaptive and fixed windows.
+func FuzzWindowModeEquivalence(f *testing.F) {
+	f.Add(byte(2), byte(0), byte(0), byte(0x42))  // limitless/weather/2 shards
+	f.Add(byte(0), byte(1), byte(1), byte(0x10))  // full-map/synthetic/4 shards
+	f.Add(byte(5), byte(2), byte(17), byte(0xff)) // chained/migratory/2 workers
+	f.Add(byte(3), byte(3), byte(2), byte(0x07))  // software-only/multigrid
+	f.Fuzz(func(t *testing.T, schemeB, wlB, shardsB, knobsB byte) {
+		windowModeTrial(t, schemeB, wlB, shardsB, knobsB)
+	})
+}
