@@ -188,6 +188,32 @@ func benchThroughput(b *testing.B, sched, tableMode string) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkFaultedThroughput measures the cost of fault injection with the
+// reliable transport armed: the BenchmarkSimulatorThroughput run under the
+// full chaos mix including drop and corrupt. The gap to the unfaulted
+// baseline is the price of per-link sequencing, checksums, retransmit
+// timers, and the reorder buffer on a real workload.
+func BenchmarkFaultedThroughput(b *testing.B) {
+	const spec = "42:delay=0.05,dup=0.02,stall=0.1,trap=0.1,drop=0.02,corrupt=0.01"
+	cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4,
+		Faults: spec}
+	var cycles int64
+	var events uint64
+	var retrans uint64
+	for i := 0; i < b.N; i++ {
+		res, err := limitless.Run(cfg, limitless.Weather(benchProcs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+		events += res.Events
+		retrans += res.FaultStats.Retransmits
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(retrans)/float64(b.N), "retransmits")
+}
+
 // BenchmarkShardedThroughput measures the windowed sharded engine on the
 // same 64-processor LimitLESS4 Weather run across the shard-count sweep.
 // shards-1 is the sequential reference for the windowed semantics; the

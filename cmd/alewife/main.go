@@ -39,7 +39,7 @@ var (
 	windowFlag   = flag.String("window", "adaptive", "sharded window sizing: adaptive (slack-derived windows, default) or fixed (lockstep lookahead-width oracle; never changes results)")
 	schedFlag    = flag.String("sched", "wheel", "event scheduler: wheel (O(1) timing wheel, default) or heap (binary-heap oracle; never changes results)")
 	tableFlag    = flag.String("table-mode", "compiled", "protocol table dispatch: compiled (generated direct-threaded code, default) or interp (declarative-table oracle; never changes results)")
-	faultsFlag   = flag.String("faults", "", "deterministic fault injection, \"seed:key=value,...\" (keys: delay, delaymax, dup, dupdelay, stall, stallperiod, stallcycles, trap, trapextra)")
+	faultsFlag   = flag.String("faults", "", "deterministic fault injection, \"seed:key=value,...\" (keys: delay, delaymax, dup, dupdelay, stall, stallperiod, stallcycles, trap, trapextra, drop, corrupt, rto, rmax; drop/corrupt arm the reliable transport)")
 	watchdogFlag = flag.Int64("watchdog", 0, "halt with a diagnostic dump after this many cycles without forward progress (0 = off)")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfFlag  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
@@ -214,6 +214,10 @@ func main() {
 	if res.DupSuppressed > 0 || res.Violations > 0 {
 		fmt.Printf("faulting:  %d duplicates suppressed, %d protocol violations recorded\n",
 			res.DupSuppressed, res.Violations)
+	}
+	if fs := res.FaultStats; fs != (limitless.FaultStats{}) {
+		fmt.Printf("injected:  %d delays, %d dups, %d stalls, %d slow traps, %d drops, %d corrupts; %d retransmits\n",
+			fs.Delays, fs.Dups, fs.Stalls, fs.Traps, fs.Drops, fs.Corrupts, fs.Retransmits)
 	}
 }
 

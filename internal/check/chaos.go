@@ -14,11 +14,12 @@ import (
 
 // ChaosConfig parameterizes the fault-injection harness: the schedule
 // explorer's random contended workload run under a fault plan and a
-// watchdog. Every injected fault class is survivable by design (faults
-// only add latency or duplicate deliveries, never drop or corrupt), so a
-// chaos run must finish, satisfy sequential-consistency observation and
-// end-state invariants, and record zero protocol violations — anything
-// else means the hardening failed.
+// watchdog. Every injected fault class is survivable by design — delay,
+// duplication, stall, and trap slowdown only add latency, and drop/corrupt
+// losses are recovered by the mesh's reliable transport (retransmission
+// only ever re-delivers later) — so a chaos run must finish, satisfy
+// sequential-consistency observation and end-state invariants, and record
+// zero protocol violations — anything else means the hardening failed.
 type ChaosConfig struct {
 	// Scheme and Pointers pick the protocol under test.
 	Scheme   coherence.Scheme
@@ -54,10 +55,12 @@ func DefaultChaos(scheme coherence.Scheme, pointers int) ChaosConfig {
 		OpsPerProc: 25,
 		Seeds:      6,
 		Faults: fault.Config{
-			DelayRate: 0.05,
-			DupRate:   0.02,
-			StallRate: 0.10,
-			TrapRate:  0.10,
+			DelayRate:   0.05,
+			DupRate:     0.02,
+			StallRate:   0.10,
+			TrapRate:    0.10,
+			DropRate:    0.02,
+			CorruptRate: 0.01,
 		},
 		Watchdog: 200_000,
 		Deadline: 5_000_000,
@@ -101,24 +104,26 @@ func chaosOne(cfg ChaosConfig, seed uint64, rep *Report) []string {
 		blocks[i] = coherence.BlockAt(mesh.NodeID(i%2), uint64(16+i))
 	}
 
-	var stamp uint64
 	for id := 0; id < nodes; id++ {
 		id := id
 		rng := xorshift(seed ^ (uint64(id)+1)*0xBF58476D1CE4E5B9)
+		// Written values are node-tagged so they stay globally unique without
+		// a cross-node counter (workloads run on concurrent shard goroutines).
+		var stamp uint64
 		wl := workload.NewThread(func(t *workload.Thread) {
 			workload.Loop(t, cfg.OpsPerProc, func(_ int, t *workload.Thread, next func(*workload.Thread)) {
 				blk := blocks[rng.next()%uint64(len(blocks))]
 				switch rng.next() % 4 {
 				case 0:
 					stamp++
-					v := stamp
+					v := uint64(id+1)<<32 | stamp
 					t.Store(blk, v, func(_ uint64, t *workload.Thread) {
 						obs.NoteWrite(mesh.NodeID(id), blk, v)
 						next(t)
 					})
 				case 1:
 					stamp++
-					v := stamp
+					v := uint64(id+1)<<32 | stamp
 					t.RMW(blk, func(uint64) uint64 { return v }, func(old uint64, t *workload.Thread) {
 						obs.NoteRead(mesh.NodeID(id), blk, old)
 						obs.NoteWrite(mesh.NodeID(id), blk, v)
@@ -161,6 +166,9 @@ func chaosOne(cfg ChaosConfig, seed uint64, rep *Report) []string {
 	}
 	if res.Coherence.DupSuppressed == 0 && cfg.Faults.DupRate > 0 && res.Coherence.TotalSent() > 500 {
 		violations = append(violations, "duplicate injection enabled but no duplicate was ever suppressed")
+	}
+	if res.FaultStats.Drops == 0 && cfg.Faults.DropRate > 0 && res.Coherence.TotalSent() > 500 {
+		violations = append(violations, "drop injection enabled but no packet was ever dropped")
 	}
 	return violations
 }

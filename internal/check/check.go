@@ -7,6 +7,7 @@ package check
 
 import (
 	"fmt"
+	"sync"
 
 	"limitless/internal/cache"
 	"limitless/internal/directory"
@@ -30,6 +31,9 @@ type Violation = fault.Violation
 // has already observed or produced on that block — the coherence
 // requirement sequential consistency builds on.
 type Observer struct {
+	// mu serializes notes: under the sharded engine, workload completions
+	// (and hence NoteRead/NoteWrite) run on concurrent shard goroutines.
+	mu sync.Mutex
 	// writes[addr] is the value log in commit order (index 0 = initial 0).
 	writes map[directory.Addr][]uint64
 	// valueIdx[addr][value] is the latest log index holding value.
@@ -71,6 +75,8 @@ func (o *Observer) nodeSeen(n mesh.NodeID) map[directory.Addr]int {
 
 // NoteWrite records a committed store of value by node.
 func (o *Observer) NoteWrite(node mesh.NodeID, addr directory.Addr, value uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.writesN++
 	o.log(addr)
 	o.writes[addr] = append(o.writes[addr], value)
@@ -81,6 +87,8 @@ func (o *Observer) NoteWrite(node mesh.NodeID, addr directory.Addr, value uint64
 
 // NoteRead records a committed load that returned value at node.
 func (o *Observer) NoteRead(node mesh.NodeID, addr directory.Addr, value uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.reads++
 	o.log(addr)
 	idx, ok := o.valueIdx[addr][value]
@@ -100,10 +108,18 @@ func (o *Observer) NoteRead(node mesh.NodeID, addr directory.Addr, value uint64)
 }
 
 // Violations returns every ordering violation detected so far.
-func (o *Observer) Violations() []string { return o.violations }
+func (o *Observer) Violations() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.violations
+}
 
 // Ops returns the number of recorded reads and writes.
-func (o *Observer) Ops() (reads, writes uint64) { return o.reads, o.writesN }
+func (o *Observer) Ops() (reads, writes uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.reads, o.writesN
+}
 
 // EndState verifies the structural invariants of a quiesced machine:
 //

@@ -1,16 +1,22 @@
 // Package fault provides seeded, fully deterministic fault injection for
 // the simulated machine: transient node stalls, bounded per-packet delay
-// jitter, duplicated deliveries of protocol messages, and trap-handler
-// slowdowns. A Plan is a pure function family over (seed, simulated time,
-// endpoints): every decision is a stateless hash of partition-independent
-// quantities, so the same seed reproduces the identical fault schedule on
-// the sequential engine, on the windowed sharded engine at any shard count,
-// and across reruns — faults perturb the protocol, never the determinism.
+// jitter, duplicated deliveries of protocol messages, trap-handler
+// slowdowns, and — the genuine failure classes — in-flight packet loss and
+// checksum corruption. A Plan is a pure function family over (seed,
+// simulated time, endpoints, sequence number): every decision is a
+// stateless hash of partition-independent quantities, so the same seed
+// reproduces the identical fault schedule on the sequential engine, on the
+// windowed sharded engine at any shard count, and across reruns — faults
+// perturb the protocol, never the determinism.
 //
-// All injected faults only ever *add* latency. That invariant is what lets
-// the sharded engine keep its lookahead window: mesh.Config.MinPacketLatency
-// remains a valid lower bound on cross-shard interaction latency with any
-// plan installed.
+// The latency classes (delay, dup, stall, trap) only ever *add* latency.
+// The loss classes (drop, corrupt) destroy packets outright; the mesh's
+// reliable transport (per-link sequence numbers, checksums, timeout-driven
+// retransmission with exponential backoff) recovers them, so every workload
+// stays completable and recovery only ever adds latency too:
+// mesh.Config.MinPacketLatency remains a valid lower bound on cross-shard
+// interaction latency with any plan installed, because a retransmission is
+// just a later injection.
 package fault
 
 import (
@@ -56,16 +62,37 @@ type Config struct {
 	// TrapExtra additional cycles (a slow software path).
 	TrapRate  float64
 	TrapExtra sim.Time
+
+	// DropRate is the fraction of non-local transmission attempts ([0,1])
+	// lost in flight; the mesh's reliable transport detects the loss by
+	// timeout and retransmits. The same rate also governs ack loss, which
+	// provokes a spurious (duplicate) retransmission of a delivered packet.
+	// CorruptRate is the fraction of attempts delivered with a corrupted
+	// checksum; the receiver discards them and the transport resends after
+	// a nack turnaround. Each retransmission is an independent trial.
+	DropRate    float64
+	CorruptRate float64
+
+	// RetransTimeout is the base retransmit timeout in cycles (doubled per
+	// failed attempt, capped by the coherence layer's RetryBackoffMax and
+	// floored at the sharded engine's lookahead window). RetransMax is the
+	// retransmit budget per packet: a packet still unacknowledged after
+	// RetransMax resends is abandoned and the run halts with a structured
+	// diagnostic naming the stuck link.
+	RetransTimeout sim.Time
+	RetransMax     int
 }
 
 // Defaults for magnitude knobs applied when the matching rate is positive
 // but the magnitude was left zero.
 const (
-	DefaultDelayMax    = sim.Time(32)
-	DefaultDupDelay    = sim.Time(8)
-	DefaultStallPeriod = sim.Time(1024)
-	DefaultStallCycles = sim.Time(64)
-	DefaultTrapExtra   = sim.Time(100)
+	DefaultDelayMax       = sim.Time(32)
+	DefaultDupDelay       = sim.Time(8)
+	DefaultStallPeriod    = sim.Time(1024)
+	DefaultStallCycles    = sim.Time(64)
+	DefaultTrapExtra      = sim.Time(100)
+	DefaultRetransTimeout = sim.Time(64)
+	DefaultRetransMax     = 8
 )
 
 // withDefaults fills zero magnitudes for active fault classes.
@@ -87,12 +114,27 @@ func (c Config) withDefaults() Config {
 	if c.TrapRate > 0 && c.TrapExtra <= 0 {
 		c.TrapExtra = DefaultTrapExtra
 	}
+	if c.LossEnabled() {
+		if c.RetransTimeout <= 0 {
+			c.RetransTimeout = DefaultRetransTimeout
+		}
+		if c.RetransMax <= 0 {
+			c.RetransMax = DefaultRetransMax
+		}
+	}
 	return c
 }
 
 // Enabled reports whether any fault class has a positive rate.
 func (c Config) Enabled() bool {
-	return c.DelayRate > 0 || c.DupRate > 0 || c.StallRate > 0 || c.TrapRate > 0
+	return c.DelayRate > 0 || c.DupRate > 0 || c.StallRate > 0 || c.TrapRate > 0 ||
+		c.LossEnabled()
+}
+
+// LossEnabled reports whether either loss class (drop, corrupt) is active,
+// i.e. whether the mesh must interpose its reliable transport.
+func (c Config) LossEnabled() bool {
+	return c.DropRate > 0 || c.CorruptRate > 0
 }
 
 // String renders the canonical spec: parsing the result reproduces the
@@ -115,14 +157,27 @@ func (c Config) String() string {
 		parts = append(parts, "stallperiod="+strconv.FormatInt(int64(c.StallPeriod), 10))
 	}
 	add("trap", c.TrapRate, "trapextra", c.TrapExtra)
+	if c.DropRate > 0 {
+		parts = append(parts, "drop="+strconv.FormatFloat(c.DropRate, 'g', -1, 64))
+	}
+	if c.CorruptRate > 0 {
+		parts = append(parts, "corrupt="+strconv.FormatFloat(c.CorruptRate, 'g', -1, 64))
+	}
+	if c.LossEnabled() {
+		parts = append(parts, "rto="+strconv.FormatInt(int64(c.RetransTimeout), 10))
+		parts = append(parts, "rmax="+strconv.Itoa(c.RetransMax))
+	}
 	sort.Strings(parts)
 	return fmt.Sprintf("%d:%s", c.Seed, strings.Join(parts, ","))
 }
 
 // Parse reads a "seed:key=value,..." fault spec. Keys: delay, dup, stall,
-// trap (rates in [0,1]); delaymax, dupdelay, stallperiod, stallcycles,
-// trapextra (cycle magnitudes). An empty key list ("7:") is a valid
-// zero-rate plan. Parse(c.String()) round-trips.
+// trap, drop, corrupt (rates in [0,1]); delaymax, dupdelay, stallperiod,
+// stallcycles, trapextra, rto (non-negative cycle magnitudes); rmax (a
+// non-negative retransmit budget). Every rate is validated into [0,1] and
+// every magnitude must be non-negative — violations produce a per-key
+// error — and unknown keys are rejected. An empty key list ("7:") is a
+// valid zero-rate plan. Parse(c.String()) round-trips.
 func Parse(spec string) (Config, error) {
 	var c Config
 	head, rest, found := strings.Cut(spec, ":")
@@ -176,6 +231,19 @@ func Parse(spec string) (Config, error) {
 			c.TrapRate, err = rate()
 		case "trapextra":
 			c.TrapExtra, err = cycles()
+		case "drop":
+			c.DropRate, err = rate()
+		case "corrupt":
+			c.CorruptRate, err = rate()
+		case "rto":
+			c.RetransTimeout, err = cycles()
+		case "rmax":
+			n, aerr := strconv.Atoi(v)
+			if aerr != nil || n < 0 {
+				err = fmt.Errorf("fault: rmax %q must be a non-negative retransmit count", v)
+			} else {
+				c.RetransMax = n
+			}
 		default:
 			return c, fmt.Errorf("fault: unknown key %q in spec %q", k, spec)
 		}
@@ -194,7 +262,7 @@ type Plan struct {
 	// Rates as 32-bit fixed-point thresholds: a hash's low 32 bits below
 	// the threshold selects the fault. Fixed-point keeps the decision
 	// integer-only and platform-independent.
-	delayT, dupT, stallT, trapT uint64
+	delayT, dupT, stallT, trapT, dropT, corruptT uint64
 }
 
 // New builds a plan from cfg, applying magnitude defaults. It returns nil
@@ -212,11 +280,13 @@ func New(cfg Config) *Plan {
 		return uint64(rate * (1 << 32))
 	}
 	return &Plan{
-		cfg:    cfg,
-		delayT: th(cfg.DelayRate),
-		dupT:   th(cfg.DupRate),
-		stallT: th(cfg.StallRate),
-		trapT:  th(cfg.TrapRate),
+		cfg:      cfg,
+		delayT:   th(cfg.DelayRate),
+		dupT:     th(cfg.DupRate),
+		stallT:   th(cfg.StallRate),
+		trapT:    th(cfg.TrapRate),
+		dropT:    th(cfg.DropRate),
+		corruptT: th(cfg.CorruptRate),
 	}
 }
 
@@ -225,10 +295,13 @@ func (p *Plan) Config() Config { return p.cfg }
 
 // Domain tags keep the hash streams of the fault classes independent.
 const (
-	tagDelay = 0xD1
-	tagDup   = 0xD2
-	tagStall = 0xD3
-	tagTrap  = 0xD4
+	tagDelay   = 0xD1
+	tagDup     = 0xD2
+	tagStall   = 0xD3
+	tagTrap    = 0xD4
+	tagDrop    = 0xD5
+	tagCorrupt = 0xD6
+	tagAck     = 0xD7
 )
 
 // hash mixes the seed, a domain tag, and up to three operands through a
@@ -296,4 +369,42 @@ func (p *Plan) TrapSlowdown(now sim.Time, node int) sim.Time {
 		return 0
 	}
 	return p.cfg.TrapExtra
+}
+
+// Drop reports whether the transmission attempt departing at cycle `at`
+// from src to dst carrying per-link sequence number seq is lost in flight.
+// A retransmission hashes its own departure cycle, so every attempt is an
+// independent trial and the schedule is a pure function of canonical send
+// order — identical at any shard count.
+func (p *Plan) Drop(at sim.Time, src, dst int, seq uint64) bool {
+	if p.dropT == 0 {
+		return false
+	}
+	h := p.hash(tagDrop, uint64(at), uint64(src)<<20|uint64(dst), seq)
+	return h&0xFFFFFFFF < p.dropT
+}
+
+// Corrupt reports whether the attempt is delivered with a corrupted
+// checksum (the receiver discards it and the transport resends). Drop is
+// checked first by the transport, so Corrupt only applies to attempts that
+// actually arrive.
+func (p *Plan) Corrupt(at sim.Time, src, dst int, seq uint64) bool {
+	if p.corruptT == 0 {
+		return false
+	}
+	h := p.hash(tagCorrupt, uint64(at), uint64(src)<<20|uint64(dst), seq)
+	return h&0xFFFFFFFF < p.corruptT
+}
+
+// AckLost reports whether the acknowledgment of a successfully delivered
+// attempt is itself lost, provoking exactly one spurious retransmission
+// that the receiver must discard as a duplicate. Ack traffic shares the
+// lossy links with data, so ack loss reuses the drop rate (with its own
+// hash stream).
+func (p *Plan) AckLost(at sim.Time, src, dst int, seq uint64) bool {
+	if p.dropT == 0 {
+		return false
+	}
+	h := p.hash(tagAck, uint64(at), uint64(src)<<20|uint64(dst), seq)
+	return h&0xFFFFFFFF < p.dropT
 }

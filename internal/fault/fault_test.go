@@ -11,6 +11,9 @@ func TestParseStringRoundTrip(t *testing.T) {
 		"7:",
 		"1:delay=0.01,delaymax=16",
 		"42:delay=0.25,delaymax=32,dup=0.1,dupdelay=8,stall=0.02,stallcycles=64,stallperiod=1024,trap=0.3,trapextra=100",
+		"3:drop=0.02,corrupt=0.01,rto=64,rmax=8",
+		"8:drop=0.5",
+		"8:corrupt=0.125,rmax=3",
 	}
 	for _, s := range specs {
 		c, err := Parse(s)
@@ -46,7 +49,8 @@ func TestParseDefaultsApplied(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
-	for _, s := range []string{"", "nocolon", "x:delay=0.1", "1:delay", "1:delay=2", "1:delay=-0.5", "1:bogus=1", "1:delaymax=-3"} {
+	for _, s := range []string{"", "nocolon", "x:delay=0.1", "1:delay", "1:delay=2", "1:delay=-0.5", "1:bogus=1", "1:delaymax=-3",
+		"1:drop=1.5", "1:drop=nope", "1:corrupt=-0.1", "1:rto=-1", "1:rmax=-2", "1:rmax=2.5"} {
 		if _, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q): expected error", s)
 		}
@@ -119,6 +123,77 @@ func TestDecisionsDeterministicAndBounded(t *testing.T) {
 	// class means the thresholds or the hash are broken.
 	if delayed == 0 || dups == 0 || stalls == 0 || traps == 0 {
 		t.Fatalf("some fault class never fired: delay=%d dup=%d stall=%d trap=%d", delayed, dups, stalls, traps)
+	}
+}
+
+func TestLossDefaultsApplied(t *testing.T) {
+	c, err := Parse("5:drop=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.LossEnabled() {
+		t.Fatal("drop=0.1 should enable loss")
+	}
+	got := New(c).Config()
+	if got.RetransTimeout != DefaultRetransTimeout || got.RetransMax != DefaultRetransMax {
+		t.Fatalf("loss defaults not applied: rto=%d rmax=%d", got.RetransTimeout, got.RetransMax)
+	}
+	c2, err := Parse("5:delay=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.LossEnabled() {
+		t.Fatal("delay-only spec must not enable loss")
+	}
+	if got := New(c2).Config(); got.RetransTimeout != 0 || got.RetransMax != 0 {
+		t.Fatalf("loss defaults leaked into a lossless plan: %+v", got)
+	}
+}
+
+func TestLossDecisionsDeterministic(t *testing.T) {
+	c := Config{Seed: 99, DropRate: 0.3, CorruptRate: 0.2}
+	a, b := New(c), New(c)
+	drops, corrupts, acks := 0, 0, 0
+	for now := sim.Time(0); now < 5000; now++ {
+		src, dst, seq := int(now)%7, int(now)%5, uint64(now)/3
+		d1, d2 := a.Drop(now, src, dst, seq), b.Drop(now, src, dst, seq)
+		if d1 != d2 {
+			t.Fatalf("Drop not deterministic at %d", now)
+		}
+		if d1 {
+			drops++
+		}
+		c1, c2 := a.Corrupt(now, src, dst, seq), b.Corrupt(now, src, dst, seq)
+		if c1 != c2 {
+			t.Fatalf("Corrupt not deterministic at %d", now)
+		}
+		if c1 {
+			corrupts++
+		}
+		a1, a2 := a.AckLost(now, src, dst, seq), b.AckLost(now, src, dst, seq)
+		if a1 != a2 {
+			t.Fatalf("AckLost not deterministic at %d", now)
+		}
+		if a1 {
+			acks++
+		}
+	}
+	if drops == 0 || corrupts == 0 || acks == 0 {
+		t.Fatalf("some loss class never fired: drop=%d corrupt=%d acklost=%d", drops, corrupts, acks)
+	}
+	// Distinct hash tags: the drop and corrupt streams must not be copies of
+	// each other even at equal rates.
+	ce := Config{Seed: 99, DropRate: 0.3, CorruptRate: 0.3}
+	pe := New(ce)
+	same := true
+	for now := sim.Time(0); now < 200; now++ {
+		if pe.Drop(now, 1, 2, uint64(now)) != pe.Corrupt(now, 1, 2, uint64(now)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Drop and Corrupt decisions identical over 200 trials: tag mixing is broken")
 	}
 }
 

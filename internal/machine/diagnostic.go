@@ -8,6 +8,7 @@ import (
 	"limitless/internal/coherence"
 	"limitless/internal/directory"
 	"limitless/internal/fault"
+	"limitless/internal/mesh"
 	"limitless/internal/sim"
 )
 
@@ -57,6 +58,12 @@ type Diagnostic struct {
 	IPIQueued, IPIMax int
 	// Violations are the recorded protocol violations, in cycle order.
 	Violations []fault.Violation
+	// Drops, Corrupts and Retransmits are the reliable transport's loss and
+	// recovery totals at halt (zero when loss injection was off).
+	Drops, Corrupts, Retransmits uint64
+	// StuckLinks lists the links whose retransmit budget ran out, in the
+	// canonical order the transport recorded them.
+	StuckLinks []mesh.StuckLink
 }
 
 // diagListCap bounds how many blocked ops / directory entries / violations
@@ -69,6 +76,18 @@ func (d *Diagnostic) String() string {
 	fmt.Fprintf(&b, "simulation halted at cycle %d: %s\n", d.Cycle, d.Reason)
 	fmt.Fprintf(&b, "  in-flight packets: %d; pending events: %d; IPI queued: %d (high-water %d)\n",
 		d.InFlight, d.PendingEvents, d.IPIQueued, d.IPIMax)
+	if d.Drops > 0 || d.Corrupts > 0 || d.Retransmits > 0 || len(d.StuckLinks) > 0 {
+		fmt.Fprintf(&b, "  transport: %d dropped, %d corrupted, %d retransmitted; stuck links: %d\n",
+			d.Drops, d.Corrupts, d.Retransmits, len(d.StuckLinks))
+		for i, s := range d.StuckLinks {
+			if i == diagListCap {
+				fmt.Fprintf(&b, "    ... and %d more\n", len(d.StuckLinks)-i)
+				break
+			}
+			fmt.Fprintf(&b, "    link %d->%d seq=%d next=%d attempts=%d first=%d last=%d\n",
+				s.Src, s.Dst, s.Seq, s.NextSeq, s.Attempts, s.FirstSent, s.LastSent)
+		}
+	}
 	fmt.Fprintf(&b, "  blocked operations: %d\n", len(d.Blocked))
 	for i, op := range d.Blocked {
 		if i == diagListCap {
@@ -145,6 +164,12 @@ func (m *Machine) buildDiagnostic(end sim.Time, reason string) *Diagnostic {
 	})
 	if m.rec != nil {
 		d.Violations = m.rec.Violations()
+	}
+	if m.Net.TransportActive() {
+		ts := m.Net.TransportStats()
+		d.Drops, d.Corrupts = ts.Drops, ts.Corrupts
+		d.Retransmits = ts.Retransmits + ts.Replays
+		d.StuckLinks = m.Net.StuckLinks()
 	}
 	return d
 }

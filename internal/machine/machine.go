@@ -129,6 +129,11 @@ type Machine struct {
 
 	rec  *fault.Recorder
 	diag *Diagnostic
+
+	// dupInj counts duplicate deliveries injected at each node's ingress.
+	// Per-node slots: each node's handler runs on its own shard's goroutine,
+	// and no two nodes share a slot, so no synchronization is needed.
+	dupInj []uint64
 }
 
 // New builds a machine. Processors have no workloads yet; bind them with
@@ -167,6 +172,7 @@ func New(cfg Config) *Machine {
 	mcfg.Faults = cfg.Faults
 
 	m := &Machine{cfg: cfg}
+	m.dupInj = make([]uint64, n)
 	if cfg.Faults != nil || cfg.Watchdog > 0 {
 		m.rec = &fault.Recorder{}
 	}
@@ -203,6 +209,24 @@ func New(cfg Config) *Machine {
 		}
 		m.Eng = eng
 		m.Net = mesh.New(eng, mcfg)
+	}
+	if cfg.Faults != nil && cfg.Faults.Config().LossEnabled() {
+		// Loss classes active: interpose the reliable transport. The
+		// retransmit timeout is floored at the lookahead window and the
+		// backoff cap reuses the coherence layer's RetryBackoffMax. Budget
+		// exhaustion aborts the run (from a single-threaded context: a
+		// sequential event or the flush barrier) so drive() can report a
+		// structured diagnostic instead of hanging into the watchdog.
+		m.Net.EnableTransport(cfg.Faults,
+			mcfg.MinPacketLatency(coherence.MinMsgFlits),
+			cfg.Params.Timing.RetryBackoffMax)
+		m.Net.OnTransportStuck(func(mesh.StuckLink) {
+			if m.sharded != nil {
+				m.sharded.Abort()
+			} else {
+				m.Eng.Abort()
+			}
+		})
 	}
 	for id := mesh.NodeID(0); int(id) < n; id++ {
 		m.Nodes = append(m.Nodes, m.buildNode(id))
@@ -246,6 +270,20 @@ func (m *Machine) buildNode(id mesh.NodeID) *Node {
 		if !ok {
 			panic(fmt.Sprintf("machine: node %d received non-protocol payload %T", id, pkt.Payload))
 		}
+		// A transport replay (ack-loss retransmission of a delivered packet)
+		// is dispatched as a Dup-marked clone so the controllers' idempotent
+		// dup suppression absorbs it. The clone matters: the payload pointer
+		// is shared with the original delivery and must never be mutated.
+		if pkt.Replay {
+			clone := *msg
+			clone.Dup = true
+			if clone.Type.ToMemory() {
+				mc.Handle(pkt.Src, &clone)
+			} else {
+				cc.HandleMem(pkt.Src, &clone)
+			}
+			return
+		}
 		// Duplicate injection happens at ingress, on the destination node's
 		// own engine: the decision hashes (delivery cycle, src, dst, block),
 		// all of which are identical across shard partitions, and the
@@ -254,6 +292,7 @@ func (m *Machine) buildNode(id mesh.NodeID) *Node {
 		if f := cfg.Faults; f != nil && !msg.Dup {
 			if extra, dup := f.Duplicate(eng.Now(), int(pkt.Src), int(id),
 				uint64(msg.Addr)^uint64(msg.Type)); dup {
+				m.dupInj[id]++
 				clone := *msg
 				clone.Dup = true
 				src := pkt.Src
@@ -387,6 +426,22 @@ type Result struct {
 	// run; nonzero means the hardening layer absorbed protocol-impossible
 	// messages instead of crashing).
 	Violations uint64
+	// FaultStats counts injected faults and transport recovery actions by
+	// class. All zero when no fault plan is installed.
+	FaultStats FaultStats
+}
+
+// FaultStats counts injected faults by class, plus the reliable transport's
+// recovery actions. Every counter is accumulated in a partition-independent
+// order, so the totals are identical at any shard count.
+type FaultStats struct {
+	Delays      uint64 // packets given extra delivery delay
+	Dups        uint64 // duplicate deliveries injected at ingress
+	Stalls      uint64 // arrivals held by a node-ingress stall window
+	Traps       uint64 // protocol traps sent down the slow software path
+	Drops       uint64 // transmission attempts lost in flight
+	Corrupts    uint64 // attempts delivered with a corrupted checksum and discarded
+	Retransmits uint64 // transport resends (loss-driven plus ack-loss replays)
 }
 
 // AvgRemoteLatency returns measured T_h.
@@ -407,30 +462,37 @@ func (m *Machine) progress() uint64 {
 }
 
 // drive executes events up to limit, guarded by the configured watchdog.
-// On a watchdog trip it records a Diagnostic and returns the halt time.
+// On a transport-stuck abort or a watchdog trip it records a Diagnostic and
+// returns the halt time.
 func (m *Machine) drive(limit sim.Time) sim.Time {
+	var end sim.Time
+	var tripped bool
 	if m.cfg.Watchdog > 0 {
 		w := sim.Watchdog{Interval: m.cfg.Watchdog, Progress: m.progress}
-		var end sim.Time
-		var tripped bool
 		if m.sharded != nil {
 			end, tripped = m.sharded.RunGuarded(w, limit)
 			m.sharded.Stop()
 		} else {
 			end, tripped = m.Eng.RunGuarded(w, limit)
 		}
-		if tripped {
-			m.diag = m.buildDiagnostic(end,
-				fmt.Sprintf("watchdog: no forward progress for %d cycles with events still pending", m.cfg.Watchdog))
-		}
-		return end
-	}
-	var end sim.Time
-	if m.sharded != nil {
-		end = m.sharded.RunUntil(limit)
-		m.sharded.Stop()
 	} else {
-		end = m.Eng.RunUntil(limit)
+		if m.sharded != nil {
+			end = m.sharded.RunUntil(limit)
+			m.sharded.Stop()
+		} else {
+			end = m.Eng.RunUntil(limit)
+		}
+	}
+	if stuck := m.Net.StuckLinks(); len(stuck) > 0 {
+		// The reliable transport gave up on a link and aborted the run;
+		// report the first exhaustion (canonical order, so deterministic).
+		s := stuck[0]
+		m.diag = m.buildDiagnostic(end, fmt.Sprintf(
+			"reliable transport: link %d->%d exhausted its retransmit budget (%d attempts, seq %d unacked since cycle %d)",
+			s.Src, s.Dst, s.Attempts, s.Seq, s.FirstSent))
+	} else if tripped {
+		m.diag = m.buildDiagnostic(end,
+			fmt.Sprintf("watchdog: no forward progress for %d cycles with events still pending", m.cfg.Watchdog))
 	}
 	return end
 }
@@ -512,6 +574,7 @@ func (m *Machine) collect(end sim.Time) Result {
 		res.Proc.TrapCycles += ps.TrapCycles
 		res.Proc.BusyCycles += ps.BusyCycles
 		res.Proc.Stalls += ps.Stalls
+		res.Proc.FaultTraps += ps.FaultTraps
 		if n.SW != nil {
 			sw := n.SW.Stats()
 			addSW(&res.SW, sw)
@@ -521,6 +584,15 @@ func (m *Machine) collect(end sim.Time) Result {
 			addSW(&res.SW, sw)
 		}
 	}
+	res.FaultStats.Delays, res.FaultStats.Stalls = m.Net.FaultCounts()
+	ts := m.Net.TransportStats()
+	res.FaultStats.Drops = ts.Drops
+	res.FaultStats.Corrupts = ts.Corrupts
+	res.FaultStats.Retransmits = ts.Retransmits + ts.Replays
+	for _, c := range m.dupInj {
+		res.FaultStats.Dups += c
+	}
+	res.FaultStats.Traps = res.Proc.FaultTraps
 	return res
 }
 

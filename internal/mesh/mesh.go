@@ -90,6 +90,12 @@ type Packet struct {
 	Src, Dst NodeID
 	Flits    int
 	Payload  any
+	// Replay marks a delivery the reliable transport identified as a
+	// duplicate (an ack-loss retransmission of an already-delivered packet).
+	// Receivers must treat it idempotently; the coherence layer re-marks the
+	// payload as a Dup before dispatch. Always false when the loss fault
+	// classes are disabled.
+	Replay bool
 }
 
 // Handler receives packets ejected at a node. The packet is only valid for
@@ -126,7 +132,9 @@ type Config struct {
 	// delays only ever add latency (MinPacketLatency stays a valid bound)
 	// and never reorder a (src,dst) pair. Unlike the jitter stream, fault
 	// decisions are stateless hashes, so they are identical across shard
-	// partitions.
+	// partitions. The plan's loss classes (drop, corrupt) additionally
+	// require EnableTransport: losses are then recovered by retransmission,
+	// which is just a later injection, so the latency bound still holds.
 	Faults *fault.Plan
 }
 
@@ -198,14 +206,31 @@ type Network struct {
 	ports     []*ShardPort
 	nodeShard []int
 	window    sim.Time
+
+	// Reliable transport (see transport.go): nil unless a fault plan with
+	// an active loss class is installed via EnableTransport, so lossless
+	// runs pay nothing and stay bit-identical to the pre-transport engine.
+	tp          *transport
+	xr          *xrecv // sequential-mode receiver state
+	retransH    seqRetrans
+	freeRetrans []*deferredSend
+
+	// Latency-fault injection counters (claims run in canonical order, so
+	// these are partition-independent).
+	fDelays, fStalls uint64
 }
 
 // delivery carries one in-flight packet from its delivery event to the
-// ejection handler without a per-packet closure.
+// ejection handler without a per-packet closure. Sequenced deliveries
+// (kind dSeq) additionally carry the reliable transport's framing: the
+// per-link sequence number and the header checksum the receiver validates.
 type delivery struct {
 	pkt      *Packet
 	injected sim.Time
-	pooled   bool // pkt belongs to the network's packet pool
+	pooled   bool  // pkt belongs to the network's packet pool
+	kind     uint8 // dPlain or dSeq
+	seq      uint64
+	sum      uint32
 }
 
 // Directions for mesh channels out of a node.
@@ -392,6 +417,19 @@ func (nw *Network) send(pkt *Packet, pooled bool) {
 		nw.deliverAt(now+nw.cfg.LocalLatency, pkt, now, pooled)
 		return
 	}
+	if nw.tp != nil {
+		// Reliable transport: the attempt re-enters through xmit (claim,
+		// loss verdict, delivery and/or retransmission timer). The payload
+		// is carried by the attempt record, so the caller's packet can be
+		// recycled immediately.
+		e := deferredSend{at: now, src: pkt.Src, dst: pkt.Dst, flits: pkt.Flits, payload: pkt.Payload}
+		if pooled {
+			pkt.Payload = nil
+			nw.freePkts = append(nw.freePkts, pkt)
+		}
+		nw.xmit(&e)
+		return
+	}
 	at := nw.claimPath(now, pkt.Src, pkt.Dst, pkt.Flits)
 	nw.deliverAt(at, pkt, now, pooled)
 }
@@ -451,10 +489,16 @@ func (nw *Network) claimPath(now sim.Time, src, dst NodeID, flits int) sim.Time 
 
 	head += nw.jitter()
 	if f := nw.cfg.Faults; f != nil {
-		head += f.PacketDelay(now, int(src), int(dst))
+		if d := f.PacketDelay(now, int(src), int(dst)); d > 0 {
+			nw.fDelays++
+			head += d
+		}
 		// A stalled destination holds arriving packets at its ingress until
 		// the stall window passes.
-		head += f.StallDelay(head, int(dst))
+		if d := f.StallDelay(head, int(dst)); d > 0 {
+			nw.fStalls++
+			head += d
+		}
 	}
 
 	// Ejection channel: all packets entering a node serialize here.
@@ -513,19 +557,30 @@ func (nw *Network) deliverAt(at sim.Time, pkt *Packet, injected sim.Time, pooled
 		d = &delivery{}
 	}
 	d.pkt, d.injected, d.pooled = pkt, injected, pooled
+	d.kind, d.seq, d.sum = dPlain, 0, 0
 	nw.inflight++
 	nw.eng.AtHandler(at, nw, d)
 }
 
 // InFlight returns the number of packets currently between injection and
 // ejection — scheduled deliveries plus, in sharded mode, sends deferred in
-// the per-shard logs. It must only be called while no shard is executing
-// (between windows or after the engines have halted); the watchdog's
-// diagnostic dump is the intended caller.
+// the per-shard logs, plus the reliable transport's pending retransmission
+// timers and receiver-held out-of-order arrivals. It must only be called
+// while no shard is executing (between windows or after the engines have
+// halted); the watchdog's diagnostic dump is the intended caller.
 func (nw *Network) InFlight() int {
 	n := nw.inflight
 	for _, p := range nw.ports {
-		n += p.inflight + len(p.log) - p.logHead
+		n += p.inflight + len(p.log) - p.logHead + p.pendingRetrans
+		if p.xr != nil {
+			n += p.xr.heldNow
+		}
+	}
+	if nw.tp != nil {
+		n += nw.tp.pending
+	}
+	if nw.xr != nil {
+		n += nw.xr.heldNow
 	}
 	return n
 }
@@ -546,30 +601,17 @@ func (nw *Network) OnEvents(args []any) {
 	}
 }
 
-// eject1 delivers one scheduled packet at cycle now.
+// eject1 delivers one scheduled packet at cycle now. Sequenced deliveries
+// detour through the receiver's transport state (checksum, per-link order,
+// duplicate detection); everything else releases directly.
 func (nw *Network) eject1(arg any, now sim.Time) {
 	d := arg.(*delivery)
-	pkt, pooled, injected := d.pkt, d.pooled, d.injected
-	d.pkt = nil
-	nw.freeDels = append(nw.freeDels, d)
 	nw.inflight--
-
-	lat := now - injected
-	nw.stats.Packets++
-	nw.stats.Flits += uint64(pkt.Flits)
-	nw.stats.TotalLatency += lat
-	if lat > nw.stats.MaxLatency {
-		nw.stats.MaxLatency = lat
+	if d.kind == dSeq {
+		nw.xr.receive(nw, d, now)
+		return
 	}
-	h := nw.handlers[pkt.Dst]
-	if h == nil {
-		panic(fmt.Sprintf("mesh: no handler registered for node %d", pkt.Dst))
-	}
-	h(pkt)
-	if pooled {
-		pkt.Payload = nil
-		nw.freePkts = append(nw.freePkts, pkt)
-	}
+	nw.finishX(d, now, false)
 }
 
 // ChannelUtilization returns the mean busy fraction across all mesh

@@ -37,12 +37,19 @@ import (
 // window boundaries carve it up — which is exactly why adaptive and fixed
 // windows produce bit-identical results.
 
-// deferredSend is one logged injection awaiting a window barrier.
+// deferredSend is one logged injection awaiting a window barrier. It doubles
+// as the reliable transport's attempt record: retransmissions rejoin the
+// source shard's log carrying their assigned sequence number, the original
+// departure cycle (first), the attempt count, and the attempt kind.
 type deferredSend struct {
 	at       sim.Time
 	src, dst NodeID
 	flits    int
 	payload  any
+	seq      uint64   // per-link sequence number (transport only)
+	first    sim.Time // departure cycle of the first attempt (transport only)
+	attempt  int32    // 0 for the first attempt, k for the k-th retransmission
+	kind     uint8    // xFirst, xRetrans, or xReplay
 }
 
 // sendLog holds one shard's deferred sends. Between barriers the region
@@ -91,6 +98,15 @@ type ShardPort struct {
 	freePkts []*Packet
 	freeDels []*delivery
 	inflight int // deliveries scheduled on this shard's engine, not yet ejected
+
+	// Reliable transport (see transport.go): the receiver state for nodes
+	// owned by this shard, the pending retransmission-timer count, and the
+	// pooled attempt records (allocated at flush barriers, freed when the
+	// timer fires on this shard — the phases never overlap).
+	xr             *xrecv
+	pendingRetrans int
+	freeRetrans    []*deferredSend
+	retransH       portRetrans
 }
 
 // Engine returns the shard engine this port is bound to.
@@ -116,7 +132,7 @@ func (p *ShardPort) SendFrom(src, dst NodeID, flits int, payload any) {
 	now := p.eng.Now()
 	if src == dst {
 		p.stats.LocalPackets++
-		p.schedule(now+nw.cfg.LocalLatency, 0, false, src, dst, flits, payload, now)
+		p.schedule(now+nw.cfg.LocalLatency, 0, false, src, dst, flits, payload, now, dPlain, 0, 0)
 		return
 	}
 	p.log = append(p.log, deferredSend{at: now, src: src, dst: dst, flits: flits, payload: payload})
@@ -129,8 +145,9 @@ func (p *ShardPort) SendFrom(src, dst NodeID, flits int, payload any) {
 
 // schedule borrows a pooled packet and delivery record and queues the
 // ejection event on this port's engine — under the engine's own sequence
-// key, or under an explicit barrier key when seqKey is set.
-func (p *ShardPort) schedule(at sim.Time, seq uint64, seqKey bool, src, dst NodeID, flits int, payload any, injected sim.Time) {
+// key, or under an explicit barrier key when seqKey is set. kind/xseq/sum
+// are the reliable transport's delivery framing (dPlain, 0, 0 outside it).
+func (p *ShardPort) schedule(at sim.Time, seq uint64, seqKey bool, src, dst NodeID, flits int, payload any, injected sim.Time, kind uint8, xseq uint64, sum uint32) {
 	var pkt *Packet
 	if n := len(p.freePkts); n > 0 {
 		pkt = p.freePkts[n-1]
@@ -149,6 +166,7 @@ func (p *ShardPort) schedule(at sim.Time, seq uint64, seqKey bool, src, dst Node
 		d = &delivery{}
 	}
 	d.pkt, d.injected, d.pooled = pkt, injected, true
+	d.kind, d.seq, d.sum = kind, xseq, sum
 	p.inflight++
 	if seqKey {
 		p.eng.AtHandlerSeq(at, seq, p, d)
@@ -173,28 +191,17 @@ func (p *ShardPort) OnEvents(args []any) {
 	}
 }
 
-// eject1 delivers one scheduled packet at cycle now.
+// eject1 delivers one scheduled packet at cycle now. Sequenced deliveries
+// detour through this shard's receiver transport state (checksum, per-link
+// order, duplicate detection); everything else releases directly.
 func (p *ShardPort) eject1(arg any, now sim.Time) {
 	d := arg.(*delivery)
-	pkt, injected := d.pkt, d.injected
-	d.pkt = nil
-	p.freeDels = append(p.freeDels, d)
 	p.inflight--
-
-	lat := now - injected
-	p.stats.Packets++
-	p.stats.Flits += uint64(pkt.Flits)
-	p.stats.TotalLatency += lat
-	if lat > p.stats.MaxLatency {
-		p.stats.MaxLatency = lat
+	if d.kind == dSeq {
+		p.xr.receive(p, d, now)
+		return
 	}
-	h := p.nw.handlers[pkt.Dst]
-	if h == nil {
-		panic(fmt.Sprintf("mesh: no handler registered for node %d", pkt.Dst))
-	}
-	h(pkt)
-	pkt.Payload = nil
-	p.freePkts = append(p.freePkts, pkt)
+	p.finishX(d, now, false)
 }
 
 // ShardPorts switches the network into sharded mode: nodeShard maps each
@@ -219,7 +226,12 @@ func (nw *Network) ShardPorts(engines []*sim.Engine, nodeShard []int, window sim
 	nw.window = window
 	nw.ports = make([]*ShardPort, len(engines))
 	for i, eng := range engines {
-		nw.ports[i] = &ShardPort{nw: nw, eng: eng, shard: i, logMin: sim.Forever}
+		p := &ShardPort{nw: nw, eng: eng, shard: i, logMin: sim.Forever}
+		p.retransH.p = p
+		if nw.tp != nil {
+			p.xr = newXrecv()
+		}
+		nw.ports[i] = p
 	}
 	return nw.ports
 }
@@ -298,14 +310,18 @@ func (nw *Network) FlushWindow(before sim.Time, mins []sim.Time) {
 				panic(fmt.Sprintf("mesh: lookahead violation — packet %d->%d sent at %d delivered at %d, inside the %d-cycle shard window (network latency below the lookahead)",
 					e.src, e.dst, e.at, at, nw.window))
 			}
-			seq := sim.WindowSeq(e.at, true, ctr)
-			ctr++
-			dp := ports[nw.nodeShard[e.dst]]
-			dp.schedule(at, seq, true, e.src, e.dst, e.flits, e.payload, e.at)
-			e.payload = nil // consumed entries keep no references
-			if mins != nil && at < mins[dp.shard] {
-				mins[dp.shard] = at
+			if nw.tp == nil {
+				seq := sim.WindowSeq(e.at, true, ctr)
+				ctr++
+				dp := ports[nw.nodeShard[e.dst]]
+				dp.schedule(at, seq, true, e.src, e.dst, e.flits, e.payload, e.at, dPlain, 0, 0)
+				if mins != nil && at < mins[dp.shard] {
+					mins[dp.shard] = at
+				}
+			} else {
+				ctr = nw.flushX(e, sp, at, ctr, mins)
 			}
+			e.payload = nil // consumed entries keep no references
 			h := sp.logHead
 			if h >= len(sp.log) {
 				break

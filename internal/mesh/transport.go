@@ -1,0 +1,582 @@
+package mesh
+
+// Reliable transport. When a fault plan enables the loss classes (drop,
+// corrupt), the network interposes a reliable-delivery layer between
+// injection and ejection: every non-local transmission carries a per-link
+// sequence number and a header checksum, lost packets are recovered by
+// timeout-driven retransmission with exponential backoff, corrupted packets
+// are discarded by the receiver's checksum and resent after a nack
+// turnaround, and lost acks provoke a spurious retransmission that the
+// receiver identifies by sequence number and hands up marked as a replay
+// (the controllers' existing dup suppression absorbs it). Receivers release
+// packets to the handlers strictly in per-link sequence order, so the
+// coherence protocol keeps the in-order point-to-point delivery it relies
+// on even while the link below it is lossy.
+//
+// Determinism. Loss decisions are stateless hashes of (seed, departure
+// cycle, src, dst, seq) — see internal/fault — and sequence numbers are
+// assigned in the canonical (send cycle, source, program order) claim
+// order, which is the same order at any shard count. A retransmission is
+// just a later injection replayed through the ordinary contention model, so
+// it arrives at least MinPacketLatency after its departure: the lookahead
+// bound that makes windowed sharded execution sound survives untouched, and
+// schedules stay bit-identical across reruns and shard counts.
+//
+// Degradation. A packet still unacknowledged after its retransmit budget
+// (fault.Config.RetransMax) is abandoned: the transport records a StuckLink
+// naming the link, the unacked sequence window, and the attempt count, and
+// fires the OnTransportStuck callback so the machine can halt the run with
+// a structured diagnostic instead of hanging into the watchdog.
+
+import (
+	"fmt"
+	"sort"
+
+	"limitless/internal/fault"
+	"limitless/internal/sim"
+)
+
+// Transmission-attempt kinds (deferredSend.kind).
+const (
+	xFirst   uint8 = iota // first attempt; verdict assigns the link sequence number
+	xRetrans              // timeout/nack-driven retransmission of a lost or corrupted attempt
+	xReplay               // spurious retransmission after a lost ack; delivered as a duplicate
+)
+
+// Delivery kinds (delivery.kind).
+const (
+	dPlain uint8 = iota // ordinary delivery, no transport framing
+	dSeq                // sequenced delivery; receiver validates checksum and order
+)
+
+// xsumMask is XORed into a corrupted packet's checksum: a fixed nonzero
+// flip, so corruption detection is deterministic rather than probabilistic.
+const xsumMask = 0xA5A5A5A5
+
+// xsum is the transport's header checksum: a 32-bit mix of the fields an
+// in-flight corruption would garble. Payloads are Go pointers, not wire
+// data, so the model checksums the header the receiver actually validates.
+func xsum(src, dst NodeID, flits int, seq uint64) uint32 {
+	x := uint64(src)<<48 ^ uint64(dst)<<32 ^ uint64(uint32(flits))<<16 ^ seq*0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return uint32(x)
+}
+
+// linkKey packs a (src, dst) pair into one map key.
+func linkKey(src, dst NodeID) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(dst))
+}
+
+// TransportStats aggregates the reliable transport's activity. Every
+// counter is a sum over partition-independent events, so the totals are
+// identical at any shard count.
+type TransportStats struct {
+	Seqs          uint64 // packets entering the transport (first attempts)
+	Drops         uint64 // attempts lost in flight
+	Corrupts      uint64 // attempts delivered with a corrupted checksum
+	Retransmits   uint64 // loss/nack-driven retransmissions sent
+	Replays       uint64 // ack-loss replays sent (arrive as duplicates)
+	ChecksumDrops uint64 // receiver-side checksum discards (== Corrupts once quiescent)
+	DupArrivals   uint64 // receiver-side duplicate arrivals (delivered marked or discarded)
+}
+
+// StuckLink describes a packet abandoned after exhausting its retransmit
+// budget: the link, the unacked sequence window [Seq, NextSeq), and the
+// attempt history.
+type StuckLink struct {
+	Src, Dst  NodeID
+	Seq       uint64   // the abandoned sequence number
+	NextSeq   uint64   // next unassigned sequence on the link; [Seq, NextSeq) is unacked
+	Attempts  int      // delivery attempts made (first send + retransmissions)
+	FirstSent sim.Time // departure cycle of the first attempt
+	LastSent  sim.Time // departure cycle of the final attempt
+}
+
+// transport is the sender-side reliable-delivery state. It is touched only
+// in single-threaded contexts — sequential event execution or the sharded
+// window-flush barrier — so it needs no locking.
+type transport struct {
+	plan       *fault.Plan
+	rto        sim.Time // base retransmit timeout, floored at the lookahead window
+	backoffMax sim.Time // exponential-backoff cap (Timing.RetryBackoffMax semantics)
+	nackLat    sim.Time // corrupt-arrival nack turnaround before the resend departs
+	rmax       int      // retransmit budget per packet
+
+	nextSeq map[uint64]uint64 // per-link next sequence number, assigned in canonical order
+
+	seqs, drops, corrupts, retransmits, replays uint64
+
+	stuck   []StuckLink
+	onStuck func(StuckLink)
+
+	pending int // sequential-mode retransmissions scheduled but not yet re-sent
+}
+
+// xverdict is the outcome of one transmission attempt: whether an arrival
+// is scheduled (sum is the checksum it carries, possibly corrupted) and
+// whether a follow-up attempt departs later.
+type xverdict struct {
+	deliver bool
+	resend  bool
+	sum     uint32
+	next    deferredSend
+}
+
+// verdict decides the fate of attempt e arriving (if it arrives) at cycle
+// at. It assigns the sequence number on first attempts and accumulates the
+// per-class counters; callers schedule the delivery and/or follow-up.
+func (tp *transport) verdict(e *deferredSend, at sim.Time) xverdict {
+	if e.kind == xFirst {
+		link := linkKey(e.src, e.dst)
+		e.seq = tp.nextSeq[link]
+		tp.nextSeq[link] = e.seq + 1
+		e.first = e.at
+		tp.seqs++
+	}
+	sum := xsum(e.src, e.dst, e.flits, e.seq)
+	switch e.kind {
+	case xReplay:
+		// A spurious retransmission provoked by a lost ack. Replays are
+		// best-effort and never chain (they are not themselves re-faulted);
+		// the receiver identifies the duplicate by sequence number.
+		tp.replays++
+		return xverdict{deliver: true, sum: sum}
+	case xRetrans:
+		tp.retransmits++
+	}
+	if tp.plan.Drop(e.at, int(e.src), int(e.dst), e.seq) {
+		tp.drops++
+		return tp.followUp(e, e.at+tp.backoff(e.attempt))
+	}
+	if tp.plan.Corrupt(e.at, int(e.src), int(e.dst), e.seq) {
+		tp.corrupts++
+		// Delivered with a broken checksum: the receiver discards it and
+		// nacks, so the resend departs one control-message turnaround after
+		// the corrupted arrival.
+		v := tp.followUp(e, at+tp.nackLat)
+		v.deliver = true
+		v.sum = sum ^ xsumMask
+		return v
+	}
+	v := xverdict{deliver: true, sum: sum}
+	if tp.plan.AckLost(e.at, int(e.src), int(e.dst), e.seq) {
+		v.resend = true
+		v.next = *e
+		v.next.kind = xReplay
+		v.next.at = e.at + tp.backoff(e.attempt)
+		v.next.attempt = e.attempt + 1
+	}
+	return v
+}
+
+// followUp prepares the retransmission of failed attempt e departing at
+// depart, or records the link as stuck when the budget is exhausted.
+func (tp *transport) followUp(e *deferredSend, depart sim.Time) xverdict {
+	if int(e.attempt)+1 > tp.rmax {
+		s := StuckLink{
+			Src: e.src, Dst: e.dst,
+			Seq: e.seq, NextSeq: tp.nextSeq[linkKey(e.src, e.dst)],
+			Attempts:  int(e.attempt) + 1,
+			FirstSent: e.first, LastSent: e.at,
+		}
+		tp.stuck = append(tp.stuck, s)
+		if tp.onStuck != nil {
+			tp.onStuck(s)
+		}
+		return xverdict{}
+	}
+	var v xverdict
+	v.resend = true
+	v.next = *e
+	v.next.kind = xRetrans
+	v.next.at = depart
+	v.next.attempt = e.attempt + 1
+	return v
+}
+
+// backoff returns the timeout before the retransmission of failing attempt
+// k departs: rto doubled per prior failure, capped at backoffMax.
+func (tp *transport) backoff(k int32) sim.Time {
+	d := tp.rto
+	for i := int32(0); i < k; i++ {
+		if d >= tp.backoffMax {
+			return tp.backoffMax
+		}
+		d <<= 1
+	}
+	if d > tp.backoffMax {
+		d = tp.backoffMax
+	}
+	return d
+}
+
+// heldDel is one out-of-order arrival parked until the gap below it fills.
+type heldDel struct {
+	seq uint64
+	d   *delivery
+}
+
+// xrecv is one receiver's transport state: per-link expected sequence
+// numbers and the out-of-order hold buffer. Sequential mode has a single
+// instance on the Network; sharded mode has one per ShardPort — each link's
+// destination lives on exactly one shard, so no receiver state is shared
+// between goroutines.
+type xrecv struct {
+	expected map[uint64]uint64
+	held     map[uint64][]heldDel
+	heldNow  int // arrivals currently parked (counted by InFlight)
+
+	csumDrops   uint64
+	dupArrivals uint64
+}
+
+func newXrecv() *xrecv {
+	return &xrecv{expected: make(map[uint64]uint64), held: make(map[uint64][]heldDel)}
+}
+
+// xsink is where a receiver releases (or discards) transport deliveries:
+// the Network in sequential mode, a ShardPort in sharded mode.
+type xsink interface {
+	finishX(d *delivery, now sim.Time, replay bool)
+	discardX(d *delivery)
+}
+
+// receive classifies one sequenced arrival: checksum-discard, in-order
+// release (plus any consecutive held successors), out-of-order hold, or
+// duplicate. Releases happen in strict per-link sequence order.
+func (r *xrecv) receive(s xsink, d *delivery, now sim.Time) {
+	pkt := d.pkt
+	if d.sum != xsum(pkt.Src, pkt.Dst, pkt.Flits, d.seq) {
+		r.csumDrops++
+		s.discardX(d)
+		return
+	}
+	link := linkKey(pkt.Src, pkt.Dst)
+	exp := r.expected[link]
+	switch {
+	case d.seq > exp:
+		// A predecessor on this link was lost and is still being recovered:
+		// park this arrival until the gap fills. A replay of an already-held
+		// sequence is discarded (its original always arrives first — per-link
+		// deliveries are strictly monotone in claim order).
+		hl := r.held[link]
+		i := sort.Search(len(hl), func(j int) bool { return hl[j].seq >= d.seq })
+		if i < len(hl) && hl[i].seq == d.seq {
+			r.dupArrivals++
+			s.discardX(d)
+			return
+		}
+		hl = append(hl, heldDel{})
+		copy(hl[i+1:], hl[i:])
+		hl[i] = heldDel{seq: d.seq, d: d}
+		r.held[link] = hl
+		r.heldNow++
+	case d.seq < exp:
+		// Already accepted once: an ack-loss replay. Deliver it marked so the
+		// controllers' dup suppression absorbs it.
+		r.dupArrivals++
+		s.finishX(d, now, true)
+	default:
+		s.finishX(d, now, false)
+		exp++
+		hl := r.held[link]
+		for len(hl) > 0 && hl[0].seq == exp {
+			hd := hl[0].d
+			copy(hl, hl[1:])
+			hl[len(hl)-1] = heldDel{}
+			hl = hl[:len(hl)-1]
+			r.heldNow--
+			s.finishX(hd, now, false)
+			exp++
+		}
+		r.held[link] = hl
+		r.expected[link] = exp
+	}
+}
+
+// EnableTransport interposes the reliable transport for plan's loss
+// classes. window is the machine's lookahead width (MinPacketLatency of the
+// smallest protocol message): the effective retransmit timeout is floored
+// there so a retransmission never departs before the engines could have
+// advanced past its scheduling point. backoffMax caps the exponential
+// backoff (the coherence layer's RetryBackoffMax semantics). Call after
+// ShardPorts when running sharded; must be called before any traffic.
+func (nw *Network) EnableTransport(plan *fault.Plan, window, backoffMax sim.Time) {
+	if plan == nil || !plan.Config().LossEnabled() {
+		panic("mesh: EnableTransport requires a plan with an active loss class")
+	}
+	cfg := plan.Config()
+	rto := cfg.RetransTimeout
+	if window < 1 {
+		window = 1
+	}
+	if rto < window {
+		rto = window
+	}
+	if backoffMax < rto {
+		backoffMax = rto
+	}
+	nw.tp = &transport{
+		plan:       plan,
+		rto:        rto,
+		backoffMax: backoffMax,
+		nackLat:    nw.cfg.MinPacketLatency(1),
+		rmax:       cfg.RetransMax,
+		nextSeq:    make(map[uint64]uint64),
+	}
+	nw.retransH.nw = nw
+	nw.xr = newXrecv()
+	for _, p := range nw.ports {
+		p.xr = newXrecv()
+	}
+}
+
+// TransportActive reports whether the reliable transport is interposed.
+func (nw *Network) TransportActive() bool { return nw.tp != nil }
+
+// OnTransportStuck installs the callback invoked (in a single-threaded
+// context: a sequential event or the flush barrier) when a packet exhausts
+// its retransmit budget. The machine uses it to abort the run.
+func (nw *Network) OnTransportStuck(fn func(StuckLink)) {
+	if nw.tp == nil {
+		panic("mesh: OnTransportStuck without EnableTransport")
+	}
+	nw.tp.onStuck = fn
+}
+
+// StuckLinks returns the links whose retransmit budget was exhausted, in
+// the canonical order the exhaustions were detected.
+func (nw *Network) StuckLinks() []StuckLink {
+	if nw.tp == nil {
+		return nil
+	}
+	return nw.tp.stuck
+}
+
+// TransportStats returns the transport's counters, folding the per-receiver
+// state in. Like Stats, the merge is partition-independent.
+func (nw *Network) TransportStats() TransportStats {
+	var ts TransportStats
+	tp := nw.tp
+	if tp == nil {
+		return ts
+	}
+	ts.Seqs, ts.Drops, ts.Corrupts = tp.seqs, tp.drops, tp.corrupts
+	ts.Retransmits, ts.Replays = tp.retransmits, tp.replays
+	if nw.xr != nil {
+		ts.ChecksumDrops += nw.xr.csumDrops
+		ts.DupArrivals += nw.xr.dupArrivals
+	}
+	for _, p := range nw.ports {
+		if p.xr != nil {
+			ts.ChecksumDrops += p.xr.csumDrops
+			ts.DupArrivals += p.xr.dupArrivals
+		}
+	}
+	return ts
+}
+
+// FaultCounts reports how many latency faults the contention model injected
+// (delay-jittered packets, stall-delayed arrivals). Claims happen in
+// canonical order, so the counts are partition-independent.
+func (nw *Network) FaultCounts() (delays, stalls uint64) {
+	return nw.fDelays, nw.fStalls
+}
+
+// xmit processes one transmission attempt on the sequential engine: claim
+// the path, apply the loss verdict, and schedule the arrival and/or the
+// follow-up attempt directly as engine events.
+func (nw *Network) xmit(e *deferredSend) {
+	at := nw.claimPath(e.at, e.src, e.dst, e.flits)
+	v := nw.tp.verdict(e, at)
+	if v.deliver {
+		var pkt *Packet
+		if n := len(nw.freePkts); n > 0 {
+			pkt = nw.freePkts[n-1]
+			nw.freePkts[n-1] = nil
+			nw.freePkts = nw.freePkts[:n-1]
+		} else {
+			pkt = &Packet{}
+		}
+		pkt.Src, pkt.Dst, pkt.Flits, pkt.Payload = e.src, e.dst, e.flits, e.payload
+		var d *delivery
+		if n := len(nw.freeDels); n > 0 {
+			d = nw.freeDels[n-1]
+			nw.freeDels[n-1] = nil
+			nw.freeDels = nw.freeDels[:n-1]
+		} else {
+			d = &delivery{}
+		}
+		d.pkt, d.injected, d.pooled = pkt, e.first, true
+		d.kind, d.seq, d.sum = dSeq, e.seq, v.sum
+		nw.inflight++
+		nw.eng.AtHandler(at, nw, d)
+	}
+	if v.resend {
+		r := nw.takeRetrans()
+		*r = v.next
+		nw.tp.pending++
+		nw.eng.AtHandler(r.at, &nw.retransH, r)
+	}
+}
+
+func (nw *Network) takeRetrans() *deferredSend {
+	if n := len(nw.freeRetrans); n > 0 {
+		r := nw.freeRetrans[n-1]
+		nw.freeRetrans[n-1] = nil
+		nw.freeRetrans = nw.freeRetrans[:n-1]
+		return r
+	}
+	return &deferredSend{}
+}
+
+// seqRetrans fires a sequential-mode retransmission timer: the recorded
+// attempt re-enters the claim/verdict path at its departure cycle.
+type seqRetrans struct{ nw *Network }
+
+func (h *seqRetrans) OnEvent(arg any) {
+	nw := h.nw
+	r := arg.(*deferredSend)
+	nw.tp.pending--
+	nw.xmit(r)
+	r.payload = nil
+	nw.freeRetrans = append(nw.freeRetrans, r)
+}
+
+// finishX releases one transport delivery to the destination handler,
+// marked as a replay when the receiver identified a duplicate.
+func (nw *Network) finishX(d *delivery, now sim.Time, replay bool) {
+	pkt, pooled, injected := d.pkt, d.pooled, d.injected
+	d.pkt = nil
+	nw.freeDels = append(nw.freeDels, d)
+
+	lat := now - injected
+	nw.stats.Packets++
+	nw.stats.Flits += uint64(pkt.Flits)
+	nw.stats.TotalLatency += lat
+	if lat > nw.stats.MaxLatency {
+		nw.stats.MaxLatency = lat
+	}
+	h := nw.handlers[pkt.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("mesh: no handler registered for node %d", pkt.Dst))
+	}
+	pkt.Replay = replay
+	h(pkt)
+	if pooled {
+		pkt.Payload = nil
+		pkt.Replay = false
+		nw.freePkts = append(nw.freePkts, pkt)
+	}
+}
+
+// discardX recycles a delivery the receiver refused (checksum failure or
+// duplicate-of-held) without invoking the handler.
+func (nw *Network) discardX(d *delivery) {
+	pkt := d.pkt
+	d.pkt = nil
+	nw.freeDels = append(nw.freeDels, d)
+	pkt.Payload = nil
+	pkt.Replay = false
+	nw.freePkts = append(nw.freePkts, pkt)
+}
+
+// flushX applies the loss verdict to one canonical-order attempt at the
+// window-flush barrier: the arrival (if any) is inserted into the
+// destination shard's engine, and the follow-up attempt (if any) becomes a
+// retransmission timer on the source shard's engine — both under
+// barrier-phase sequence keys drawn from the shared counter stream, both
+// fed back into the window driver's deadline cache. Returns the advanced
+// counter.
+func (nw *Network) flushX(e *deferredSend, sp *ShardPort, at sim.Time, ctr uint32, mins []sim.Time) uint32 {
+	v := nw.tp.verdict(e, at)
+	if v.deliver {
+		seq := sim.WindowSeq(e.at, true, ctr)
+		ctr++
+		dp := nw.ports[nw.nodeShard[e.dst]]
+		dp.schedule(at, seq, true, e.src, e.dst, e.flits, e.payload, e.first, dSeq, e.seq, v.sum)
+		if mins != nil && at < mins[dp.shard] {
+			mins[dp.shard] = at
+		}
+	}
+	if v.resend {
+		r := sp.takeRetrans()
+		*r = v.next
+		seq := sim.WindowSeq(e.at, true, ctr)
+		ctr++
+		sp.pendingRetrans++
+		sp.eng.AtHandlerSeq(r.at, seq, &sp.retransH, r)
+		if mins != nil && r.at < mins[sp.shard] {
+			mins[sp.shard] = r.at
+		}
+	}
+	return ctr
+}
+
+func (p *ShardPort) takeRetrans() *deferredSend {
+	if n := len(p.freeRetrans); n > 0 {
+		r := p.freeRetrans[n-1]
+		p.freeRetrans[n-1] = nil
+		p.freeRetrans = p.freeRetrans[:n-1]
+		return r
+	}
+	return &deferredSend{}
+}
+
+// portRetrans fires a sharded-mode retransmission timer on the source
+// shard's engine: the recorded attempt rejoins the port's send log (it was
+// allocated at a flush barrier and is freed here on the shard's goroutine —
+// the phases never overlap) and the shard self-clamps exactly as SendFrom
+// does, so the attempt is flushed at a coming barrier in canonical order.
+type portRetrans struct{ p *ShardPort }
+
+func (h *portRetrans) OnEvent(arg any) {
+	p := h.p
+	r := arg.(*deferredSend)
+	p.pendingRetrans--
+	p.log = append(p.log, *r)
+	p.logDirty = true
+	if r.at < p.logMin {
+		p.logMin = r.at
+	}
+	r.payload = nil
+	p.freeRetrans = append(p.freeRetrans, r)
+	p.eng.ClampRunLimit(r.at + p.nw.window - 1)
+}
+
+// finishX releases one transport delivery on this shard, marked as a replay
+// when the receiver identified a duplicate.
+func (p *ShardPort) finishX(d *delivery, now sim.Time, replay bool) {
+	pkt, injected := d.pkt, d.injected
+	d.pkt = nil
+	p.freeDels = append(p.freeDels, d)
+
+	lat := now - injected
+	p.stats.Packets++
+	p.stats.Flits += uint64(pkt.Flits)
+	p.stats.TotalLatency += lat
+	if lat > p.stats.MaxLatency {
+		p.stats.MaxLatency = lat
+	}
+	h := p.nw.handlers[pkt.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("mesh: no handler registered for node %d", pkt.Dst))
+	}
+	pkt.Replay = replay
+	h(pkt)
+	pkt.Payload = nil
+	pkt.Replay = false
+	p.freePkts = append(p.freePkts, pkt)
+}
+
+// discardX recycles a refused delivery on this shard.
+func (p *ShardPort) discardX(d *delivery) {
+	pkt := d.pkt
+	d.pkt = nil
+	p.freeDels = append(p.freeDels, d)
+	pkt.Payload = nil
+	pkt.Replay = false
+	p.freePkts = append(p.freePkts, pkt)
+}

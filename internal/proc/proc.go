@@ -94,6 +94,9 @@ type Stats struct {
 	// StallStarted counts memory references the processor stalled on
 	// (hits, local misses, and remote misses with no other context ready).
 	Stalls uint64
+	// FaultTraps counts trap executions lengthened by an injected
+	// handler-time slowdown.
+	FaultTraps uint64
 }
 
 type ctxState uint8
@@ -258,7 +261,10 @@ func (p *Processor) ProtocolTrap() {
 	}
 	cost := p.timing.TrapEntry + p.timing.TrapService
 	if p.faults != nil {
-		cost += p.faults.TrapSlowdown(p.eng.Now(), int(p.cc.ID()))
+		if d := p.faults.TrapSlowdown(p.eng.Now(), int(p.cc.ID())); d > 0 {
+			cost += d
+			p.stats.FaultTraps++
+		}
 	}
 	start := p.pipe.Claim(p.eng.Now(), cost)
 	p.stats.TrapsServiced++

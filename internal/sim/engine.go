@@ -128,6 +128,9 @@ type Engine struct {
 	// uses it to stop an engine one window past its own first deferred
 	// cross-shard send.
 	runLimit Time
+
+	// abort permanently halts event execution (see Abort).
+	abort bool
 }
 
 // New returns an engine with the clock at cycle 0, using the timing-wheel
@@ -404,6 +407,9 @@ func (e *Engine) Run() Time { return e.RunUntil(Forever) }
 // lower it mid-run with ClampRunLimit; the cycle being drained always
 // completes.
 func (e *Engine) RunUntil(limit Time) Time {
+	if e.abort {
+		return e.now
+	}
 	e.runLimit = limit
 	if !e.useHeap {
 		e.runWheel()
@@ -446,6 +452,22 @@ func (e *Engine) ClampRunLimit(t Time) {
 		e.runLimit = t
 	}
 }
+
+// Abort permanently stops event execution: the run in progress ends at the
+// current cycle boundary (queued events stay queued) and later RunUntil
+// calls return immediately. A model calls this from inside an event when
+// continuing is pointless — the machine's reliable transport aborts a run
+// whose retransmit budget is exhausted, where waiting for the queue to
+// drain would hang into the watchdog instead of reporting cleanly.
+func (e *Engine) Abort() {
+	e.abort = true
+	if e.runLimit > e.now {
+		e.runLimit = e.now
+	}
+}
+
+// Aborted reports whether Abort was called.
+func (e *Engine) Aborted() bool { return e.abort }
 
 // RunWhile executes events for as long as cond returns true and events
 // remain. cond is evaluated before each event.

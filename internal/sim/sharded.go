@@ -109,6 +109,9 @@ type ShardedEngine struct {
 	runners []*shardRunner
 	started bool
 	epoch   uint64 // coordinator-private dispatch epoch
+
+	// aborted permanently halts the window loop (see Abort).
+	aborted bool
 }
 
 // paddedTime is one cached deadline on its own pair of cache lines, so
@@ -208,6 +211,16 @@ func (s *ShardedEngine) Run() Time { return s.run(Forever) }
 // Engine.RunUntil, and returns the time of the last executed event.
 func (s *ShardedEngine) RunUntil(limit Time) Time { return s.run(limit) }
 
+// Abort permanently stops the window loop: the run in progress returns at
+// the current barrier and later runs return immediately. It may only be
+// called from a single-threaded context — the flush callback or between
+// runs — never from inside a shard's event execution. The machine's
+// reliable transport aborts a run whose retransmit budget is exhausted.
+func (s *ShardedEngine) Abort() { s.aborted = true }
+
+// Aborted reports whether Abort was called.
+func (s *ShardedEngine) Aborted() bool { return s.aborted }
+
 // held returns the earliest deferred send cycle, or Forever.
 func (s *ShardedEngine) held() Time {
 	if s.heldMin == nil {
@@ -236,7 +249,7 @@ func (s *ShardedEngine) run(limit Time) Time {
 // runFixed is the reference discipline: lockstep windows of exactly the
 // lookahead width, a flush at every barrier.
 func (s *ShardedEngine) runFixed(limit Time) {
-	for {
+	for !s.aborted {
 		start := Forever
 		for i := range s.deadlines {
 			if t := s.deadlines[i].t; t < start {
@@ -279,7 +292,7 @@ func (s *ShardedEngine) runFixed(limit Time) {
 // order fixed mode produces, just carved into fewer, larger batches.
 func (s *ShardedEngine) runAdaptive(limit Time) {
 	w := s.window
-	for {
+	for !s.aborted {
 		min1, min2 := Forever, Forever
 		arg := -1
 		for i := range s.deadlines {

@@ -45,6 +45,9 @@ func (e *Engine) RunGuarded(w Watchdog, limit Time) (Time, bool) {
 			chunk = limit
 		}
 		e.RunUntil(chunk)
+		if e.abort {
+			return e.now, false
+		}
 		cur := w.Progress()
 		if cur == last {
 			if t, ok := e.NextEventTime(); ok && t <= limit {
@@ -106,6 +109,9 @@ func (s *ShardedEngine) RunGuarded(w Watchdog, limit Time) (Time, bool) {
 			chunk = limit
 		}
 		s.run(chunk)
+		if s.aborted {
+			return s.maxNow(), false
+		}
 		cur := w.Progress()
 		if cur == last {
 			if t := s.nextTime(); t != Forever && t <= limit {

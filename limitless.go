@@ -261,12 +261,20 @@ type Config struct {
 	// Faults is a deterministic fault-injection spec, "seed:key=value,...".
 	// Keys: delay/delaymax (per-packet delivery jitter), dup/dupdelay
 	// (duplicate deliveries), stall/stallperiod/stallcycles (link stall
-	// windows), trap/trapextra (software-handler slowdowns); rates are
+	// windows), trap/trapextra (software-handler slowdowns), drop (lose a
+	// transmission attempt in flight), corrupt (deliver it with a corrupted
+	// checksum), rto/rmax (retransmit timeout and budget); rates are
 	// probabilities in [0,1]. The empty string (default) injects nothing,
 	// and a spec with all rates zero is exactly equivalent to no spec.
-	// Faults only ever add latency or re-deliver packets, so any workload
-	// remains completable; the injected schedule depends only on the spec,
-	// never on the host, and is identical for every Shards >= 1 value.
+	// A nonzero drop or corrupt rate arms the mesh's reliable-delivery
+	// layer (per-link sequencing, checksums, timeout-driven retransmit with
+	// exponential backoff), which recovers every loss by re-sending later —
+	// so recovery, like every other fault class, only ever adds latency and
+	// any workload remains completable as long as the retransmit budget
+	// holds out; a link that exhausts rmax attempts halts the run with a
+	// structured diagnostic instead of hanging. The injected schedule
+	// depends only on the spec, never on the host, and is identical for
+	// every Shards >= 1 value.
 	Faults string
 	// WatchdogCycles, when positive, halts a run that makes no forward
 	// progress (no memory operation commits, no software handler finishes)
@@ -445,6 +453,29 @@ type Result struct {
 	// Violations counts protocol violations recorded by the hardened
 	// controllers (always zero on a healthy run).
 	Violations uint64
+	// FaultStats breaks down injected faults and transport recovery by
+	// class (all zero without a Faults spec).
+	FaultStats FaultStats
+}
+
+// FaultStats counts injected faults by class, plus the reliable
+// transport's recovery work. The totals depend only on the Faults spec and
+// the workload, never on Shards or the host.
+type FaultStats struct {
+	// Delays is packets given extra delivery delay.
+	Delays uint64
+	// Dups is duplicate deliveries injected at node ingress.
+	Dups uint64
+	// Stalls is arrivals held by a link stall window.
+	Stalls uint64
+	// Traps is software-handler executions lengthened by trapextra.
+	Traps uint64
+	// Drops is transmission attempts lost in flight.
+	Drops uint64
+	// Corrupts is attempts delivered corrupted and discarded by checksum.
+	Corrupts uint64
+	// Retransmits is transport re-sends (loss-driven plus ack-loss replays).
+	Retransmits uint64
 }
 
 func resultFrom(r machine.Result) Result {
@@ -480,6 +511,15 @@ func resultFrom(r machine.Result) Result {
 		SoftwareVectorsPeak: r.SW.MaxResident,
 		DupSuppressed:       r.Coherence.DupSuppressed,
 		Violations:          r.Violations,
+		FaultStats: FaultStats{
+			Delays:      r.FaultStats.Delays,
+			Dups:        r.FaultStats.Dups,
+			Stalls:      r.FaultStats.Stalls,
+			Traps:       r.FaultStats.Traps,
+			Drops:       r.FaultStats.Drops,
+			Corrupts:    r.FaultStats.Corrupts,
+			Retransmits: r.FaultStats.Retransmits,
+		},
 	}
 }
 

@@ -1,0 +1,182 @@
+package limitless_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	limitless "limitless"
+)
+
+// lossSpec is the full chaos mix with the loss classes armed: every fault
+// class the subsystem implements, all at once.
+const lossSpec = "42:delay=0.05,dup=0.02,stall=0.1,trap=0.1,drop=0.03,corrupt=0.02"
+
+func runLossy(t testing.TB, cfg limitless.Config, label string) limitless.Result {
+	if cfg.Faults == "" {
+		cfg.Faults = lossSpec
+	}
+	cfg.WatchdogCycles = 1_000_000
+	res, err := limitless.Run(cfg, limitless.Weather(16))
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%s: survivable loss recorded %d protocol violations", label, res.Violations)
+	}
+	return res
+}
+
+// TestLossEquivalenceMatrix is the loss-tolerance acceptance matrix: every
+// scheme, run under the full fault mix including drop and corrupt, must
+// complete SC-clean on both engines, and the sharded engine's results must
+// be bit-identical for every shard count — the retransmitting transport may
+// not leak partition-dependence into anything. Fixed windows and the heap
+// scheduler are spot-checked against the same pin.
+func TestLossEquivalenceMatrix(t *testing.T) {
+	for _, scheme := range allSchemes(t) {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			base := limitless.Config{Procs: 16, Scheme: scheme, Pointers: 4,
+				TrapService: 50, ShardWorkers: 2}
+
+			// Sequential engine: its arbitration differs from the sharded
+			// engine's, so it is its own deterministic baseline.
+			seq := runLossy(t, base, string(scheme)+"/sequential")
+			if seq.FaultStats.Drops == 0 || seq.FaultStats.Retransmits == 0 {
+				t.Errorf("sequential: loss classes never fired: %+v", seq.FaultStats)
+			}
+			if again := runLossy(t, base, string(scheme)+"/sequential-rerun"); again != seq {
+				t.Errorf("sequential rerun diverged:\n%+v\n%+v", seq, again)
+			}
+
+			shardCfg := base
+			shardCfg.Shards = 1
+			ref := runLossy(t, shardCfg, string(scheme)+"/shards=1")
+			if ref.FaultStats.Drops == 0 || ref.FaultStats.Retransmits == 0 {
+				t.Errorf("sharded: loss classes never fired: %+v", ref.FaultStats)
+			}
+			for _, shards := range []int{2, 4} {
+				cfg := base
+				cfg.Shards = shards
+				got := runLossy(t, cfg, fmt.Sprintf("%s/shards=%d", scheme, shards))
+				if got != ref {
+					t.Errorf("shards=%d diverged from shards=1 under loss:\n got %+v\nwant %+v",
+						shards, got, ref)
+				}
+			}
+			// Orthogonal engine knobs must not interact with the transport.
+			fixed := base
+			fixed.Shards, fixed.WindowMode = 4, "fixed"
+			if got := runLossy(t, fixed, string(scheme)+"/fixed-window"); got != ref {
+				t.Errorf("fixed windows diverged under loss:\n got %+v\nwant %+v", got, ref)
+			}
+			heap := base
+			heap.Shards, heap.Scheduler = 4, "heap"
+			if got := runLossy(t, heap, string(scheme)+"/heap"); got != ref {
+				t.Errorf("heap scheduler diverged under loss:\n got %+v\nwant %+v", got, ref)
+			}
+		})
+	}
+}
+
+// TestLossActuallyPerturbs guards the loss classes against silently
+// becoming no-ops, and checks the latency-only contract: a lossy run takes
+// longer than a fault-free one, never corrupts protocol state, and reports
+// its recovery work in FaultStats.
+func TestLossActuallyPerturbs(t *testing.T) {
+	base := limitless.Config{Procs: 16, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50}
+	clean, err := limitless.Run(base, limitless.Weather(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := runLossy(t, base, "lossy")
+	if lossy.Cycles <= clean.Cycles {
+		t.Errorf("loss injection did not slow the run: %d vs %d cycles", lossy.Cycles, clean.Cycles)
+	}
+	fs := lossy.FaultStats
+	if fs.Delays == 0 || fs.Dups == 0 || fs.Stalls == 0 || fs.Traps == 0 ||
+		fs.Drops == 0 || fs.Corrupts == 0 || fs.Retransmits == 0 {
+		t.Errorf("some fault class never fired under the full mix: %+v", fs)
+	}
+	if fs.Retransmits < fs.Drops {
+		t.Errorf("every drop needs a retransmission: %+v", fs)
+	}
+	if clean.FaultStats != (limitless.FaultStats{}) {
+		t.Errorf("fault-free run reported injections: %+v", clean.FaultStats)
+	}
+}
+
+// TestTransportStuckDiagnostic: from the public API, a fault plan the
+// transport cannot beat (every attempt dropped) returns a structured error
+// naming the stuck link instead of hanging into the watchdog.
+func TestTransportStuckDiagnostic(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		cfg := limitless.Config{Procs: 16, Scheme: limitless.FullMap,
+			Faults: "1:drop=1,rto=16,rmax=3", Shards: shards,
+			WatchdogCycles: 500_000, MaxCycles: 10_000_000}
+		_, err := limitless.Run(cfg, limitless.Weather(16))
+		if err == nil {
+			t.Fatalf("shards=%d: all-drop run returned no error", shards)
+		}
+		for _, want := range []string{"reliable transport", "retransmit budget", "stuck links"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("shards=%d: error does not mention %q:\n%s", shards, want, err)
+			}
+		}
+	}
+}
+
+// lossTrial builds one randomized lossy configuration from fuzz bytes and
+// cross-checks shard counts 1, 2, and 4 against each other. Shared by the
+// randomized test and FuzzLossEquivalence.
+func lossTrial(t testing.TB, schemeB, ratesB, knobsB byte) {
+	schemes := allSchemes(t)
+	scheme := schemes[int(schemeB)%len(schemes)]
+	// Rates stay modest so every trial terminates within the watchdog; the
+	// transport budget covers the occasional unlucky link.
+	drop := float64(1+int(ratesB&7)) / 100
+	corrupt := float64(int(ratesB>>3)&7) / 200
+	seed := 1 + int(knobsB)
+	spec := fmt.Sprintf("%d:drop=%.2f,corrupt=%.3f,delay=0.03,dup=0.01", seed, drop, corrupt)
+
+	cfg := limitless.Config{Procs: 16, Scheme: scheme, Pointers: 1 + int(knobsB>>4)%4,
+		TrapService: 50, ShardWorkers: 2, Faults: spec, Shards: 1}
+	label := fmt.Sprintf("%s/%s", scheme, spec)
+	ref := runLossy(t, cfg, label+"/shards=1")
+	for _, shards := range []int{2, 4} {
+		cfg.Shards = shards
+		if got := runLossy(t, cfg, fmt.Sprintf("%s/shards=%d", label, shards)); got != ref {
+			t.Fatalf("%s: shards=%d diverged from shards=1:\n got %+v\nwant %+v",
+				label, shards, got, ref)
+		}
+	}
+}
+
+// TestLossEquivalenceRandom replays seeded random lossy configurations —
+// the always-on counterpart of FuzzLossEquivalence.
+func TestLossEquivalenceRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(0x10552e55))
+	for round := 0; round < 8; round++ {
+		var b [3]byte
+		rng.Read(b[:])
+		lossTrial(t, b[0], b[1], b[2])
+	}
+}
+
+// FuzzLossEquivalence lets the fuzzer drive the scheme, loss rates, and
+// seed; every reachable lossy configuration must produce bit-identical
+// results at shard counts 1, 2, and 4.
+func FuzzLossEquivalence(f *testing.F) {
+	f.Add(byte(2), byte(0x1a), byte(0x42)) // limitless, drop+corrupt
+	f.Add(byte(0), byte(0x07), byte(0x01)) // full-map, drop-heavy
+	f.Add(byte(5), byte(0xff), byte(0x99)) // chained, both classes maxed
+	f.Add(byte(3), byte(0x08), byte(0x30)) // software-only, corrupt-only spec byte
+	f.Fuzz(func(t *testing.T, schemeB, ratesB, knobsB byte) {
+		lossTrial(t, schemeB, ratesB, knobsB)
+	})
+}

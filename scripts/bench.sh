@@ -4,7 +4,9 @@
 # Runs BenchmarkSimulatorThroughput (the sequential 64-processor LimitLESS(4)
 # Weather run in bench_test.go), its binary-heap-scheduler twin
 # BenchmarkSimulatorThroughputHeap, its interpreted-protocol-table twin
-# BenchmarkSimulatorThroughputInterp, the windowed sharded engine at
+# BenchmarkSimulatorThroughputInterp, the fault-injected twin
+# BenchmarkFaultedThroughput (full chaos mix with the reliable transport
+# armed; its point is tagged with the fault spec), the windowed sharded engine at
 # shards-4/8/16/64 plus the 256-processor BenchmarkShardedP256 scale point,
 # five times each with allocation stats, plus the scheduler microbenchmarks
 # in internal/sim (BenchmarkSchedule, BenchmarkFireDrain: wheel vs heap,
@@ -56,7 +58,7 @@ trap 'rm -f "$out"' EXIT
 # Sequential engine points and scheduler microbenchmarks: single-threaded
 # by construction, measured once at GOMAXPROCS=1.
 echo "### gomaxprocs=1" | tee "$out"
-GOMAXPROCS=1 go test -run '^$' -bench='SimulatorThroughput' \
+GOMAXPROCS=1 go test -run '^$' -bench='SimulatorThroughput|FaultedThroughput' \
     -benchmem -count=5 "$@" . | tee -a "$out"
 GOMAXPROCS=1 go test -run '^$' -bench='Schedule|FireDrain' \
     -benchmem -count=3 "$@" ./internal/sim | tee -a "$out"
@@ -100,7 +102,9 @@ BEGIN {
 function flush_point() {
     if (name == "") return
     shards = 0; workers = 1; engine = "sequential"; sched = "wheel"
-    tmode = "compiled"
+    tmode = "compiled"; faults = ""
+    # Keep in sync with the spec in BenchmarkFaultedThroughput.
+    if (name ~ /^FaultedThroughput/) faults = "42:delay=0.05,dup=0.02,stall=0.1,trap=0.1,drop=0.02,corrupt=0.01"
     if (match(name, /shards-[0-9]+/)) {
         shards = substr(name, RSTART + 7, RLENGTH - 7) + 0
         engine = "windowed-sharded"
@@ -118,6 +122,7 @@ function flush_point() {
     printf "      \"engine\": \"%s\",\n", engine
     printf "      \"scheduler\": \"%s\",\n", sched
     printf "      \"table_mode\": \"%s\",\n", tmode
+    printf "      \"faults\": \"%s\",\n", faults
     printf "      \"shards\": %d,\n", shards
     printf "      \"workers\": %d,\n", workers
     printf "      \"gomaxprocs\": %d,\n", pg + 0
@@ -131,7 +136,7 @@ function flush_point() {
     best = 0; nsop = 0; n = 0; evps = 0
 }
 /^### gomaxprocs=/ { sub(/^### gomaxprocs=/, ""); g = $0 + 0; next }
-/^Benchmark(SimulatorThroughput|ShardedThroughput|ShardedP256|Schedule|FireDrain)/ {
+/^Benchmark(SimulatorThroughput|FaultedThroughput|ShardedThroughput|ShardedP256|Schedule|FireDrain)/ {
     bench = $1
     sub(/^Benchmark/, "", bench)
     # Strip the trailing -GOMAXPROCS suffix Go appends when GOMAXPROCS > 1.
