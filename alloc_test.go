@@ -23,12 +23,24 @@ import (
 // ~150k events per run that a per-event allocation would cost.
 const allocCeiling = 30000
 
+// dirBytesCeiling bounds the packed directory's measured bytes per entry
+// for the same run. A LimitLESS(4) entry holds its four hardware pointers
+// inline in the 24-byte set header; only software-extended lines add
+// arena words, so the average must stay well under the boxed
+// representation's 72 B/entry floor (header + interface + Limited
+// struct). Measured ~25 B/entry; the ceiling catches a regression to
+// heap-boxed sets or an arena leak.
+const dirBytesCeiling = 40.0
+
 func TestSequentialAllocRegression(t *testing.T) {
 	cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4}
+	var dirBytesPerEntry float64
 	run := func() {
-		if _, err := limitless.Run(cfg, limitless.Weather(benchProcs)); err != nil {
+		res, err := limitless.Run(cfg, limitless.Weather(benchProcs))
+		if err != nil {
 			t.Fatal(err)
 		}
+		dirBytesPerEntry = res.DirectoryBytesPerEntry
 	}
 	run() // warm the line-array pool and engine free lists
 	allocs := testing.AllocsPerRun(3, run)
@@ -37,5 +49,11 @@ func TestSequentialAllocRegression(t *testing.T) {
 		t.Errorf("sequential Weather run allocates %.0f times, above the pinned ceiling %d; "+
 			"something on the per-event or per-message path has started allocating",
 			allocs, allocCeiling)
+	}
+	t.Logf("directory bytes per entry: %.1f (ceiling %.0f)", dirBytesPerEntry, dirBytesCeiling)
+	if dirBytesPerEntry <= 0 || dirBytesPerEntry > dirBytesCeiling {
+		t.Errorf("directory measures %.1f B/entry, outside (0, %.0f]; "+
+			"the packed sharer sets have regressed toward the boxed footprint or the arena is leaking",
+			dirBytesPerEntry, dirBytesCeiling)
 	}
 }

@@ -176,6 +176,7 @@ func benchThroughput(b *testing.B, sched, tableMode string) {
 		Scheduler: sched, TableMode: tableMode}
 	var cycles int64
 	var events uint64
+	var last limitless.Result
 	for i := 0; i < b.N; i++ {
 		res, err := limitless.Run(cfg, limitless.Weather(benchProcs))
 		if err != nil {
@@ -183,9 +184,13 @@ func benchThroughput(b *testing.B, sched, tableMode string) {
 		}
 		cycles += res.Cycles
 		events += res.Events
+		last = res
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	// The measured directory footprint is deterministic per configuration,
+	// so the last run speaks for all of them.
+	b.ReportMetric(last.DirectoryBytesPerEntry, "dirbytes/entry")
 }
 
 // BenchmarkFaultedThroughput measures the cost of fault injection with the
@@ -253,6 +258,7 @@ func BenchmarkShardedP256(b *testing.B) {
 	cfg := limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, Shards: 16}
 	var cycles int64
 	var events uint64
+	var last limitless.Result
 	for i := 0; i < b.N; i++ {
 		res, err := limitless.Run(cfg, limitless.Weather(procs))
 		if err != nil {
@@ -260,9 +266,37 @@ func BenchmarkShardedP256(b *testing.B) {
 		}
 		cycles += res.Cycles
 		events += res.Events
+		last = res
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(last.DirectoryBytesPerEntry, "dirbytes/entry")
+}
+
+// BenchmarkShardedP1024 is the machine the packed directory exists for: a
+// 1024-processor (32x32 mesh) LimitLESS4 Weather run on 64 shards. At this
+// size the boxed sharer sets cost ~200 B/entry where the packed inline
+// representation stays at its 24 B header until a set spills, and the
+// compact node walks touch a quarter of the cache lines — the dirbytes
+// metric pins the footprint alongside the throughput.
+func BenchmarkShardedP1024(b *testing.B) {
+	const procs = 1024
+	cfg := limitless.Config{Procs: procs, Scheme: limitless.LimitLESS, Pointers: 4, Shards: 64}
+	var cycles int64
+	var events uint64
+	var last limitless.Result
+	for i := 0; i < b.N; i++ {
+		res, err := limitless.Run(cfg, limitless.Weather(procs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+		events += res.Events
+		last = res
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(last.DirectoryBytesPerEntry, "dirbytes/entry")
 }
 
 func BenchmarkAblationFFT(b *testing.B) {

@@ -39,6 +39,7 @@ var (
 	windowFlag   = flag.String("window", "adaptive", "sharded window sizing: adaptive (slack-derived windows, default) or fixed (lockstep lookahead-width oracle; never changes results)")
 	schedFlag    = flag.String("sched", "wheel", "event scheduler: wheel (O(1) timing wheel, default) or heap (binary-heap oracle; never changes results)")
 	tableFlag    = flag.String("table-mode", "compiled", "protocol table dispatch: compiled (generated direct-threaded code, default) or interp (declarative-table oracle; never changes results)")
+	storageFlag  = flag.String("dir-storage", "packed", "directory sharer-set storage: packed (inline + arena spill, default) or boxed (heap pointer-set oracle; never changes results)")
 	faultsFlag   = flag.String("faults", "", "deterministic fault injection, \"seed:key=value,...\" (keys: delay, delaymax, dup, dupdelay, stall, stallperiod, stallcycles, trap, trapextra, drop, corrupt, rto, rmax; drop/corrupt arm the reliable transport)")
 	watchdogFlag = flag.Int64("watchdog", 0, "halt with a diagnostic dump after this many cycles without forward progress (0 = off)")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -73,6 +74,12 @@ func main() {
 		return
 	}
 
+	if *procsFlag > limitless.MaxProcs {
+		fmt.Fprintf(os.Stderr,
+			"alewife: -procs %d exceeds the packed directory's %d-node limit (node IDs are 16-bit); use at most %d processors\n",
+			*procsFlag, limitless.MaxProcs, limitless.MaxProcs)
+		os.Exit(2)
+	}
 	if *traceFlag != "" && *shardsFlag > 1 {
 		fmt.Fprintf(os.Stderr,
 			"alewife: -trace and -shards %d cannot be combined: trace replay shares one event cursor across all processors, which the parallel sharded engine would race on; drop -shards or use a generated -workload\n",
@@ -97,6 +104,7 @@ func main() {
 		WindowMode:     *windowFlag,
 		Scheduler:      *schedFlag,
 		TableMode:      *tableFlag,
+		DirStorage:     *storageFlag,
 		Faults:         *faultsFlag,
 		WatchdogCycles: *watchdogFlag,
 	}
@@ -202,6 +210,8 @@ func main() {
 	fmt.Printf("cycles:    %d (%.3f Mcycles)\n", res.Cycles, float64(res.Cycles)/1e6)
 	fmt.Printf("T_h:       %.1f cycles average remote access latency\n", res.AvgRemoteLatency)
 	fmt.Printf("hit rate:  %.3f\n", res.HitRate)
+	fmt.Printf("directory: %s storage, %d bytes live (%.1f B/entry)\n",
+		res.DirectoryStorage, res.DirectoryBytes, res.DirectoryBytesPerEntry)
 	fmt.Printf("misses:    %d remote, %d local\n", res.RemoteMisses, res.LocalMisses)
 	fmt.Printf("messages:  %d protocol messages, %d invalidations\n", res.Messages, res.Invalidations)
 	fmt.Printf("software:  %d traps (m=%.3f), %d trap cycles\n", res.Traps, res.SoftwareFraction, res.TrapCycles)

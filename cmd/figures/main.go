@@ -27,7 +27,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "which figure to regenerate: all, spec, memory, model, 7, 8, 9, 10, scaling, ablation")
+	figFlag     = flag.String("fig", "all", "which figure to regenerate: all, spec, memory, storage, model, 7, 8, 9, 10, scaling, ablation")
 	procsFlag   = flag.Int("procs", 64, "processor count (the paper uses 64)")
 	workersFlag = flag.Int("workers", 0, "simulations to run in parallel per batch (0 = GOMAXPROCS)")
 	verbose     = flag.Bool("v", false, "print extended statistics per run")
@@ -39,6 +39,7 @@ func main() {
 	case "all":
 		spec()
 		memory()
+		storage()
 		model(*procsFlag)
 		fig7(*procsFlag)
 		fig8(*procsFlag)
@@ -50,6 +51,8 @@ func main() {
 		spec()
 	case "memory":
 		memory()
+	case "storage":
+		storage()
 	case "model":
 		model(*procsFlag)
 	case "7":
@@ -179,6 +182,44 @@ func memory() {
 	fmt.Println("while a line's worker-set actually exceeds the hardware pointers.")
 }
 
+// storage prints the measured simulator-side counterpart of the memory
+// model: bytes per directory entry under the packed inline/arena sharer
+// sets against the boxed pointer-set oracle, from real Weather runs at
+// the paper's machine size and the ROADMAP's P=256 / P=1024 scale
+// points. The packed header is 24 B at every machine size; the boxed
+// cost grows with N (full-map) or stays at the Limited object's ~72 B
+// minimum, which is the Table-2-style argument restated for the
+// simulator's own memory.
+func storage() {
+	header("Directory storage — measured bytes/entry, packed vs boxed (Weather)")
+	tb := stats.NewTable("Nodes", "Scheme", "Packed B/entry", "Boxed B/entry", "Reduction")
+	for _, p := range []int{64, 256, 1024} {
+		for _, sc := range []struct {
+			name   string
+			scheme limitless.Scheme
+			ptrs   int
+		}{
+			{"Full-Map", limitless.FullMap, 0},
+			{"LimitLESS4", limitless.LimitLESS, 4},
+		} {
+			var per [2]float64
+			for i, st := range []string{"packed", "boxed"} {
+				cfg := limitless.Config{Procs: p, Scheme: sc.scheme, Pointers: sc.ptrs,
+					TrapService: 50, DirStorage: st}
+				res := must(limitless.Run(cfg, limitless.Weather(p)))
+				per[i] = res.DirectoryBytesPerEntry
+			}
+			tb.Row(p, sc.name, fmt.Sprintf("%.1f", per[0]), fmt.Sprintf("%.1f", per[1]),
+				fmt.Sprintf("%.2fx", per[1]/per[0]))
+		}
+	}
+	fmt.Println(tb)
+	fmt.Println("Packed sets hold up to four 16-bit pointers inline in the 24-byte entry")
+	fmt.Println("header and spill wide worker-sets to words from a per-store arena; the")
+	fmt.Println("boxed oracle allocates a heap object per entry, so its full-map cost")
+	fmt.Println("grows with the machine while the packed header does not.")
+}
+
 func model(procs int) {
 	header("Section 3.1 — analytic model: T_eff = T_h + m*T_s")
 	rows := must(experiments.Model(procs))
@@ -193,13 +234,13 @@ func model(procs int) {
 }
 
 func fig7(procs int) {
-	header("Figure 7 — Static Multigrid, 64 Processors")
+	header(fmt.Sprintf("Figure 7 — Static Multigrid, %d Processors", procs))
 	chart(must(experiments.Fig7(procs)))
 	fmt.Println("Paper: all four bars approximately equal (small worker-sets).")
 }
 
 func fig8(procs int) {
-	header("Figure 8 — Weather (unoptimized hot-spot), 64 Processors, limited and full-map")
+	header(fmt.Sprintf("Figure 8 — Weather (unoptimized hot-spot), %d Processors, limited and full-map", procs))
 	unopt, opt, err := experiments.Fig8(procs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -214,14 +255,14 @@ func fig8(procs int) {
 }
 
 func fig9(procs int) {
-	header("Figure 9 — Weather, 64 Processors, LimitLESS with 25-150 cycle emulation latencies")
+	header(fmt.Sprintf("Figure 9 — Weather, %d Processors, LimitLESS with 25-150 cycle emulation latencies", procs))
 	chart(must(experiments.Fig9(procs)))
 	fmt.Println("Paper: LimitLESS about as fast as full-map at every T_s, far under Dir4NB;")
 	fmt.Println("       at T_s=25 LimitLESS slightly beat full-map (trap-induced back-off).")
 }
 
 func fig10(procs int) {
-	header("Figure 10 — Weather, 64 Processors, LimitLESS with 1, 2, and 4 hardware pointers")
+	header(fmt.Sprintf("Figure 10 — Weather, %d Processors, LimitLESS with 1, 2, and 4 hardware pointers", procs))
 	chart(must(experiments.Fig10(procs)))
 	fmt.Println("Paper: graceful degradation as pointers shrink; one pointer especially bad")
 	fmt.Println("       (some Weather variables have a worker-set of exactly two processors).")

@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"limitless/internal/directory"
+	"limitless/internal/mesh"
 	"limitless/internal/protocol"
 )
 
@@ -42,7 +43,7 @@ func guardRORecordable(c *memCtx) bool {
 // invalidation-free Transition 2.
 func guardSoleSharer(c *memCtx) bool {
 	for _, n := range c.sharerList() {
-		if n != c.src {
+		if mesh.NodeID(n) != c.src {
 			return false
 		}
 	}
@@ -176,8 +177,8 @@ func memWriteInvalidate(c *memCtx) {
 	e.State = directory.WriteTransaction
 	n := 0
 	for _, k := range sh {
-		if k != c.src {
-			mc.Send(k, mc.newMsg(Msg{Type: INV, Addr: c.m.Addr, Next: -1}))
+		if mesh.NodeID(k) != c.src {
+			mc.Send(mesh.NodeID(k), mc.newMsg(Msg{Type: INV, Addr: c.m.Addr, Next: -1}))
 			n++
 		}
 	}

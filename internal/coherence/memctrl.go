@@ -49,6 +49,11 @@ type Params struct {
 	// The two are bit-identical; interp keeps the declarative tables as a
 	// cross-checking oracle.
 	TableMode TableMode
+	// Storage selects the sharer-set backend: packed inline sets spilling
+	// to a per-store word arena (the default), or the original boxed
+	// PointerSet implementations kept as a cross-checking oracle. The two
+	// are bit-identical in every cycle count and statistic.
+	Storage directory.StorageMode
 }
 
 // DefaultParams returns the paper's baseline configuration: LimitLESS with
@@ -81,12 +86,18 @@ func (p Params) validate() {
 	}
 }
 
-// newPointerSet builds the per-entry pointer storage for the scheme.
-func (p Params) newPointerSet() directory.PointerSet {
+// setMax returns the per-entry sharer-set capacity for the scheme: -1
+// (unbounded) for full-map storage, the hardware pointer count otherwise.
+func (p Params) setMax() int {
 	if p.Scheme.Info().FullMapStorage {
-		return directory.NewBitVector(p.Nodes)
+		return -1
 	}
-	return directory.NewLimited(p.Pointers)
+	return p.Pointers
+}
+
+// newDir builds the node's directory store on a fresh word arena.
+func (p Params) newDir() *directory.Store {
+	return directory.NewStore(directory.NewSpace(p.Nodes, p.Storage), p.setMax())
 }
 
 type deferredPkt struct {
@@ -129,8 +140,11 @@ type MemoryController struct {
 	// results are consumed before any other walk can run. Keeping them
 	// separate means an action may hold its sharer list across a nested
 	// owner lookup (finishReadTransaction / finishWriteTransaction) safely.
-	shBuf  []mesh.NodeID
-	ownBuf []mesh.NodeID
+	// Both hold the packed directory's compact 16-bit node type, so a
+	// P=1024 sharer walk streams a quarter of the bytes the old
+	// []mesh.NodeID buffers did.
+	shBuf  []directory.Node
+	ownBuf []directory.Node
 
 	// tbl is the scheme's memory-side transition table. fastTbl, when
 	// non-nil, is the generated direct-threaded dispatcher for the same
@@ -194,7 +208,7 @@ func NewMemoryController(eng *sim.Engine, nw NetPort, id mesh.NodeID, params Par
 		nw:        nw,
 		id:        id,
 		params:    params,
-		dir:       directory.NewStore(params.newPointerSet),
+		dir:       params.newDir(),
 		ipiq:      ipi.NewQueue(params.IPIQueueCap),
 		sink:      sink,
 		deferred:  make(map[directory.Addr][]deferredPkt, 16),
@@ -231,10 +245,14 @@ func (mc *MemoryController) IPIQueue() *ipi.Queue { return mc.ipiq }
 func (mc *MemoryController) Stats() Stats { return mc.stats }
 
 // SetRecorder installs a violation recorder. With a recorder present,
-// protocol violations on the message-dispatch paths are recorded and the
-// offending message dropped; without one they panic (a protocol bug in a
-// deterministic fault-free simulation must fail loudly).
-func (mc *MemoryController) SetRecorder(r *fault.Recorder) { mc.rec = r }
+// protocol violations on the message-dispatch paths — and out-of-range or
+// malformed pointer-set accesses inside the directory storage — are
+// recorded and the offending operation dropped; without one they panic (a
+// protocol bug in a deterministic fault-free simulation must fail loudly).
+func (mc *MemoryController) SetRecorder(r *fault.Recorder) {
+	mc.rec = r
+	mc.dir.Space().SetRecorder(r)
+}
 
 // entry fetches (or creates) the directory entry for addr, applying the
 // scheme's default meta state to fresh entries.
@@ -375,10 +393,10 @@ func (mc *MemoryController) Release(addr directory.Addr) {
 // sharersInto lists every cache the directory believes holds the block,
 // including the home processor recorded by the Local Bit, appending into
 // the caller's buffer.
-func (mc *MemoryController) sharersInto(buf []mesh.NodeID, e *directory.Entry) []mesh.NodeID {
+func (mc *MemoryController) sharersInto(buf []directory.Node, e *directory.Entry) []directory.Node {
 	nodes := e.Ptrs.NodesInto(buf[:0])
 	if e.Local {
-		nodes = append(nodes, mc.id)
+		nodes = append(nodes, directory.Node(mc.id))
 	}
 	return nodes
 }
@@ -386,7 +404,7 @@ func (mc *MemoryController) sharersInto(buf []mesh.NodeID, e *directory.Entry) [
 // sharers lists the block's sharers in the controller's dispatch-scoped
 // buffer. The result is valid until the next sharers call — long enough for
 // the dispatch context's memoization, which is its only caller.
-func (mc *MemoryController) sharers(e *directory.Entry) []mesh.NodeID {
+func (mc *MemoryController) sharers(e *directory.Entry) []directory.Node {
 	mc.shBuf = mc.sharersInto(mc.shBuf, e)
 	return mc.shBuf
 }
@@ -480,24 +498,21 @@ func (mc *MemoryController) owner(e *directory.Entry) (_ mesh.NodeID, ok bool) {
 		panic(fmt.Sprintf("coherence: node %d expected a single pointer, have %v (state %v)",
 			mc.id, nodes, e.State))
 	}
-	return nodes[0], true
+	return mesh.NodeID(nodes[0]), true
 }
 
 // pickVictim selects the pointer a limited directory reclaims.
 func (mc *MemoryController) pickVictim(e *directory.Entry) mesh.NodeID {
-	lim, ok := e.Ptrs.(*directory.Limited)
-	if !ok {
-		panic("coherence: eviction from non-limited pointer set")
-	}
 	if mc.params.EvictPolicy == EvictOldest {
-		return lim.Oldest()
+		return e.Ptrs.Oldest()
 	}
-	// Deterministic xorshift pseudo-random choice.
+	// Deterministic xorshift pseudo-random choice over the sorted walk.
 	mc.evictSeed ^= mc.evictSeed << 13
 	mc.evictSeed ^= mc.evictSeed >> 7
 	mc.evictSeed ^= mc.evictSeed << 17
-	nodes := lim.Nodes()
-	return nodes[mc.evictSeed%uint64(len(nodes))]
+	mc.ownBuf = e.Ptrs.NodesInto(mc.ownBuf[:0])
+	nodes := mc.ownBuf
+	return mesh.NodeID(nodes[mc.evictSeed%uint64(len(nodes))])
 }
 
 // chainedRead implements the linked-list read path: the new reader becomes
@@ -508,14 +523,14 @@ func (mc *MemoryController) chainedRead(src mesh.NodeID, e *directory.Entry, add
 	if e.Chain > 0 {
 		mc.ownBuf = e.Ptrs.NodesInto(mc.ownBuf[:0])
 		prev := mc.ownBuf
-		if len(prev) == 1 && prev[0] == src {
+		if len(prev) == 1 && mesh.NodeID(prev[0]) == src {
 			// Already the head (its line was displaced): resupply the data
 			// without growing the list.
 			mc.Send(src, mc.newMsg(Msg{Type: RDATA, Addr: addr, Value: e.Value, Next: ChainResupply}))
 			return
 		}
 		if len(prev) == 1 {
-			next = prev[0]
+			next = mesh.NodeID(prev[0])
 		}
 	}
 	e.Ptrs.Clear()

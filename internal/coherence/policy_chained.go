@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"limitless/internal/directory"
+	"limitless/internal/mesh"
 	"limitless/internal/protocol"
 )
 
@@ -65,7 +66,7 @@ func memChainedWriteInvalidate(c *memCtx) {
 	sh := c.sharerList()
 	mc.stats.WriteTxns++
 	e.State = directory.WriteTransaction
-	head := sh[0]
+	head := mesh.NodeID(sh[0])
 	e.AckCtr = 1
 	mc.clearSharers(e)
 	e.Ptrs.Add(c.src)

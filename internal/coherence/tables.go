@@ -32,8 +32,9 @@ type memCtx struct {
 	// pointer-set walk (the old hand-coded path's allocation profile).
 	owner     mesh.NodeID
 	haveOwner bool
-	// sh memoizes the sharer list for the Read-Only WREQ rows.
-	sh     []mesh.NodeID
+	// sh memoizes the sharer list for the Read-Only WREQ rows, in the
+	// packed directory's compact node type.
+	sh     []directory.Node
 	haveSh bool
 }
 
@@ -53,14 +54,14 @@ func (c *memCtx) ownerNode() mesh.NodeID {
 		// scoped shBuf: only the scalar owner is kept, and sharerList's
 		// memoized slice (when a row uses both) stays intact.
 		c.mc.ownBuf = c.mc.sharersInto(c.mc.ownBuf, c.e)
-		c.owner = c.mc.ownBuf[0]
+		c.owner = mesh.NodeID(c.mc.ownBuf[0])
 		c.haveOwner = true
 	}
 	return c.owner
 }
 
 // sharerList returns (and memoizes) the entry's sharer list.
-func (c *memCtx) sharerList() []mesh.NodeID {
+func (c *memCtx) sharerList() []directory.Node {
 	if !c.haveSh {
 		c.sh = c.mc.sharers(c.e)
 		c.haveSh = true

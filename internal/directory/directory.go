@@ -118,6 +118,10 @@ type PointerSet interface {
 type BitVector struct {
 	words []uint64
 	n     int
+	// sp, set when the vector was built by an oracle-mode Space, routes
+	// out-of-range accesses through the installed fault.Recorder as
+	// structured violations instead of panics.
+	sp *Space
 }
 
 // NewBitVector returns an empty bit vector covering nodes [0, n).
@@ -125,22 +129,36 @@ func NewBitVector(n int) *BitVector {
 	return &BitVector{words: make([]uint64, (n+63)/64), n: n}
 }
 
-func (b *BitVector) check(n mesh.NodeID) {
-	if n < 0 || int(n) >= b.n {
-		panic(fmt.Sprintf("directory: node %d outside bit vector of %d", n, b.n))
+// check validates n, reporting whether the access may proceed. With a
+// recorder installed (guarded runs) an out-of-range node is recorded as a
+// structured violation and the operation becomes a no-op; without one it
+// panics — a bad node ID in a fault-free deterministic simulation is a
+// protocol bug that must fail loudly.
+func (b *BitVector) check(n mesh.NodeID) bool {
+	if n >= 0 && int(n) < b.n {
+		return true
 	}
+	msg := fmt.Sprintf("node %d outside bit vector of %d", n, b.n)
+	if b.sp != nil && b.sp.violation("directory-range", "", msg) {
+		return false
+	}
+	panic("directory: " + msg)
 }
 
 // Add implements PointerSet; it never overflows.
 func (b *BitVector) Add(n mesh.NodeID) bool {
-	b.check(n)
+	if !b.check(n) {
+		return false
+	}
 	b.words[n/64] |= 1 << (uint(n) % 64)
 	return true
 }
 
 // Remove implements PointerSet.
 func (b *BitVector) Remove(n mesh.NodeID) bool {
-	b.check(n)
+	if !b.check(n) {
+		return false
+	}
 	mask := uint64(1) << (uint(n) % 64)
 	had := b.words[n/64]&mask != 0
 	b.words[n/64] &^= mask
@@ -149,7 +167,9 @@ func (b *BitVector) Remove(n mesh.NodeID) bool {
 
 // Contains implements PointerSet.
 func (b *BitVector) Contains(n mesh.NodeID) bool {
-	b.check(n)
+	if !b.check(n) {
+		return false
+	}
 	return b.words[n/64]&(1<<(uint(n)%64)) != 0
 }
 
@@ -293,9 +313,11 @@ func (l *Limited) InOrder() []mesh.NodeID {
 // increments it. That is enough for the consistency checker to detect any
 // stale read the protocol lets through.
 type Entry struct {
-	State  State
-	Meta   Meta
-	Ptrs   PointerSet
+	State State
+	Meta  Meta
+	// Ptrs is the hardware sharer set, held inline as a packed value (or
+	// delegating to a boxed PointerSet oracle — see packed.go).
+	Ptrs   SharerSet
 	AckCtr int
 	// Local is the Local Bit: a dedicated pointer for the home node's own
 	// processor so local reads can never overflow the directory.
@@ -347,7 +369,8 @@ type Store struct {
 	slots  []slot
 	count  int
 	arena  []Entry
-	newSet func() PointerSet
+	sp     *Space
+	setMax int
 }
 
 type slot struct {
@@ -363,10 +386,21 @@ const (
 	entryChunk = 128
 )
 
-// NewStore returns an empty directory whose entries use pointer sets built
-// by newSet (full-map bit vectors or limited arrays).
-func NewStore(newSet func() PointerSet) *Store {
-	return &Store{slots: make([]slot, storeInitSlots), newSet: newSet}
+// NewStore returns an empty directory whose entries draw sharer sets of
+// capacity setMax (-1: unbounded full-map vectors) from sp.
+func NewStore(sp *Space, setMax int) *Store {
+	return &Store{slots: make([]slot, storeInitSlots), sp: sp, setMax: setMax}
+}
+
+// Space returns the store's word arena — shared with the software
+// directory handlers, whose extended vectors spill into the same space.
+func (s *Store) Space() *Space { return s.sp }
+
+// SetBytes returns the store's measured sharer-set storage: the inline
+// set headers of its entries plus the space's resident spill words (which
+// include any software-extended vectors drawing on the same space).
+func (s *Store) SetBytes() int {
+	return s.count*SetHeaderBytes + s.sp.Bytes()
 }
 
 // hashAddr mixes the block address so both the dense per-home index bits
@@ -400,7 +434,7 @@ func (s *Store) EntryOrCreate(addr Addr) (_ *Entry, created bool) {
 		i = (i + 1) & mask
 	}
 	e := s.newEntry()
-	e.State, e.Meta, e.Ptrs = ReadOnly, Normal, s.newSet()
+	e.State, e.Meta, e.Ptrs = ReadOnly, Normal, s.sp.NewSet(s.setMax)
 	if s.count >= len(s.slots)*3/4 {
 		s.grow()
 		mask = uint64(len(s.slots) - 1)

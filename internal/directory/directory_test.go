@@ -185,7 +185,8 @@ func TestNewLimitedRejectsZeroCapacity(t *testing.T) {
 }
 
 func TestEntrySharersCountsLocalBit(t *testing.T) {
-	e := &Entry{State: ReadOnly, Ptrs: NewLimited(4)}
+	sp := NewSpace(16, StoragePacked)
+	e := &Entry{State: ReadOnly, Ptrs: sp.NewSet(4)}
 	e.Ptrs.Add(1)
 	e.Ptrs.Add(2)
 	if e.Sharers() != 2 {
@@ -198,7 +199,7 @@ func TestEntrySharersCountsLocalBit(t *testing.T) {
 }
 
 func TestStoreCreatesUncachedReadOnly(t *testing.T) {
-	s := NewStore(func() PointerSet { return NewLimited(4) })
+	s := NewStore(NewSpace(16, StoragePacked), 4)
 	if _, ok := s.Lookup(0x100); ok {
 		t.Fatal("Lookup created an entry")
 	}
@@ -215,7 +216,7 @@ func TestStoreCreatesUncachedReadOnly(t *testing.T) {
 }
 
 func TestStoreForEachOrdered(t *testing.T) {
-	s := NewStore(func() PointerSet { return NewBitVector(4) })
+	s := NewStore(NewSpace(4, StoragePacked), -1)
 	for _, a := range []Addr{0x30, 0x10, 0x20} {
 		s.Entry(a)
 	}
@@ -301,7 +302,7 @@ func TestLimitedCapacityProperty(t *testing.T) {
 // The open-addressing store must keep exact map semantics through growth:
 // every entry stays findable, pointers stay stable, and Len tracks count.
 func TestStoreGrowthKeepsEntriesStable(t *testing.T) {
-	s := NewStore(func() PointerSet { return NewLimited(4) })
+	s := NewStore(NewSpace(64, StoragePacked), 4)
 	const n = 4096 // forces several doublings past the pre-sized table
 	ptrs := make(map[Addr]*Entry, n)
 	for i := 0; i < n; i++ {
@@ -347,7 +348,7 @@ func TestStoreGrowthKeepsEntriesStable(t *testing.T) {
 // Address zero is a valid block (home 0, index 0) and must not be confused
 // with an empty slot.
 func TestStoreAddrZero(t *testing.T) {
-	s := NewStore(func() PointerSet { return NewLimited(2) })
+	s := NewStore(NewSpace(16, StoragePacked), 2)
 	if _, ok := s.Lookup(0); ok {
 		t.Fatal("Lookup(0) on empty store")
 	}
@@ -363,7 +364,7 @@ func TestStoreAddrZero(t *testing.T) {
 }
 
 func BenchmarkStoreEntry(b *testing.B) {
-	s := NewStore(func() PointerSet { return NewLimited(4) })
+	s := NewStore(NewSpace(64, StoragePacked), 4)
 	for i := 0; i < 1024; i++ {
 		s.Entry(Addr(uint64(i%64)<<24 | uint64(i)))
 	}

@@ -1,0 +1,331 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"limitless/internal/fault"
+	"limitless/internal/mesh"
+)
+
+// Property: a packed SharerSet behaves exactly like a reference set for
+// any operation sequence, across the inline/spilled boundary in both
+// directions (Clear unspills, so the sequence add×5 / clear / add×5
+// exercises spill → unspill → re-spill).
+func TestSharerSetMatchesReferenceSet(t *testing.T) {
+	type op struct {
+		Kind byte
+		Node uint8
+	}
+	for _, tc := range []struct {
+		name  string
+		nodes int
+		max   int
+	}{
+		{"fullmap-64", 64, -1},
+		{"fullmap-1024", 1024, -1},
+		{"limited-4", 64, 4},
+		{"limited-8", 64, 8}, // bounded past the inline capacity: 16-bit lane spill
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sp := NewSpace(tc.nodes, StoragePacked)
+			prop := func(ops []op) bool {
+				s := sp.NewSet(tc.max)
+				defer s.Release()
+				ref := make(map[mesh.NodeID]bool)
+				var order []mesh.NodeID // arrival order, for bounded sets
+				for _, o := range ops {
+					n := mesh.NodeID(int(o.Node) % tc.nodes)
+					switch o.Kind % 5 {
+					case 0:
+						full := tc.max > 0 && len(ref) >= tc.max
+						ok := s.Add(n)
+						if ref[n] {
+							if !ok {
+								return false
+							}
+						} else if full {
+							if ok {
+								return false
+							}
+						} else {
+							if !ok {
+								return false
+							}
+							ref[n] = true
+							order = append(order, n)
+						}
+					case 1:
+						got := s.Remove(n)
+						want := ref[n]
+						delete(ref, n)
+						for i, k := range order {
+							if k == n {
+								order = append(order[:i], order[i+1:]...)
+								break
+							}
+						}
+						if got != want {
+							return false
+						}
+					case 2:
+						if s.Contains(n) != ref[n] {
+							return false
+						}
+					case 3:
+						// FIFO eviction: Oldest must name the earliest
+						// surviving arrival (bounded sets only — full-map
+						// spill discards arrival order).
+						if tc.max > 0 && len(ref) > 0 {
+							if got, want := s.Oldest(), order[0]; got != want {
+								return false
+							}
+						}
+					case 4:
+						s.Clear()
+						ref = make(map[mesh.NodeID]bool)
+						order = nil
+					}
+				}
+				if s.Len() != len(ref) {
+					return false
+				}
+				for _, n := range s.Nodes() {
+					if !ref[n] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Nodes must come back ascending — the order the boxed oracle's walks
+// produce — in every representation (inline, lane-spilled, bit-spilled).
+func TestSharerSetNodesSorted(t *testing.T) {
+	sp := NewSpace(128, StoragePacked)
+	for _, max := range []int{-1, 6} {
+		s := sp.NewSet(max)
+		for _, n := range []mesh.NodeID{77, 3, 120, 41, 9, 55} {
+			s.Add(n)
+		}
+		nodes := s.Nodes()
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i-1] >= nodes[i] {
+				t.Fatalf("max=%d: Nodes() not ascending: %v", max, nodes)
+			}
+		}
+		if max > 0 {
+			want := []mesh.NodeID{77, 3, 120, 41, 9, 55}
+			got := s.InOrder()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("max=%d: InOrder() = %v, want arrival order %v", max, got, want)
+				}
+			}
+			if s.Oldest() != 77 {
+				t.Fatalf("Oldest() = %d, want 77", s.Oldest())
+			}
+		}
+		s.Release()
+	}
+}
+
+// Clear on a spilled set must return its words to the space; Release on a
+// software vector likewise. The arena's live count is the invariant.
+func TestSpaceReclaimsSpillWords(t *testing.T) {
+	sp := NewSpace(1024, StoragePacked)
+	if sp.Bytes() != 0 {
+		t.Fatalf("fresh space measures %d bytes", sp.Bytes())
+	}
+	s := sp.NewSet(-1)
+	for n := 0; n < 32; n++ {
+		s.Add(mesh.NodeID(n))
+	}
+	if sp.Bytes() == 0 {
+		t.Fatal("spilled set holds no arena words")
+	}
+	s.Clear()
+	if sp.Bytes() != 0 {
+		t.Fatalf("Clear left %d bytes live", sp.Bytes())
+	}
+	// The freed words must be recycled, not leaked: a second spill of the
+	// same shape reuses them.
+	for n := 0; n < 32; n++ {
+		s.Add(mesh.NodeID(n))
+	}
+	grown := sp.Bytes()
+	s.Release()
+	if sp.Bytes() != 0 {
+		t.Fatalf("Release left %d bytes live", sp.Bytes())
+	}
+	v := sp.NewSet(-1)
+	for n := 0; n < 32; n++ {
+		v.Add(mesh.NodeID(n))
+	}
+	if sp.Bytes() != grown {
+		t.Fatalf("recycled spill measures %d bytes, first spill measured %d", sp.Bytes(), grown)
+	}
+}
+
+// TestSpaceFootprintP1024 is the unit-level form of the tentpole's memory
+// claim at the ROADMAP's target machine size: across a population of
+// full-map entries with the paper's worker-set profile (mostly small sets,
+// a spilled tail), packed storage must measure at least 4x smaller than
+// the boxed oracle. An unspilled entry costs the 24-byte header against
+// the boxed 200 B (interface word pair + vector struct + sixteen
+// 64-bit words), so even a quarter of entries spilling leaves margin.
+func TestSpaceFootprintP1024(t *testing.T) {
+	const nodes = 1024
+	measure := func(mode StorageMode) int {
+		sp := NewSpace(nodes, mode)
+		st := NewStore(sp, -1)
+		for i := 0; i < 1000; i++ {
+			e := st.Entry(Addr(uint64(i%64)<<24 | uint64(i)))
+			sharers := 2
+			if i%10 == 0 {
+				sharers = 12 // the spilled tail: wide worker-sets
+			}
+			for k := 0; k < sharers; k++ {
+				e.Ptrs.Add(mesh.NodeID((i + k*37) % nodes))
+			}
+		}
+		return st.SetBytes()
+	}
+	packed := measure(StoragePacked)
+	boxed := measure(StorageBoxed)
+	if ratio := float64(boxed) / float64(packed); ratio < 4 {
+		t.Errorf("P=1024 full-map: boxed %d B / packed %d B = %.2fx, want >= 4x", boxed, packed, ratio)
+	}
+}
+
+// pointerSetOps replays one fuzz-provided op stream against a packed set
+// and the boxed oracle of the same shape, failing on the first divergence
+// in any observable: Add/Remove return values, Contains, Len, Cap, the
+// sorted Nodes view, and (bounded shapes) arrival order and Oldest.
+func pointerSetOps(t *testing.T, maxB byte, data []byte) {
+	nodes := 64
+	max := -1
+	if maxB%4 != 0 {
+		max = 1 + int(maxB)%9 // 1..9: both inline-only and lane-spilled shapes
+	}
+	psp := NewSpace(nodes, StoragePacked)
+	bsp := NewSpace(nodes, StorageBoxed)
+	p := psp.NewSet(max)
+	b := bsp.NewSet(max)
+
+	check := func(stage string) {
+		if p.Len() != b.Len() {
+			t.Fatalf("%s: Len %d vs %d", stage, p.Len(), b.Len())
+		}
+		if p.Cap() != b.Cap() {
+			t.Fatalf("%s: Cap %d vs %d", stage, p.Cap(), b.Cap())
+		}
+		pn, bn := p.Nodes(), b.Nodes()
+		for i := range pn {
+			if pn[i] != bn[i] {
+				t.Fatalf("%s: Nodes %v vs %v", stage, pn, bn)
+			}
+		}
+		if max > 0 {
+			po, bo := p.InOrder(), b.InOrder()
+			for i := range po {
+				if po[i] != bo[i] {
+					t.Fatalf("%s: InOrder %v vs %v", stage, po, bo)
+				}
+			}
+			if p.Len() > 0 && p.Oldest() != b.Oldest() {
+				t.Fatalf("%s: Oldest %d vs %d", stage, p.Oldest(), b.Oldest())
+			}
+		}
+	}
+
+	for i := 0; i+1 < len(data); i += 2 {
+		n := mesh.NodeID(int(data[i+1]) % nodes)
+		switch data[i] % 4 {
+		case 0:
+			if got, want := p.Add(n), b.Add(n); got != want {
+				t.Fatalf("op %d: Add(%d) %v vs %v", i, n, got, want)
+			}
+		case 1:
+			if got, want := p.Remove(n), b.Remove(n); got != want {
+				t.Fatalf("op %d: Remove(%d) %v vs %v", i, n, got, want)
+			}
+		case 2:
+			if got, want := p.Contains(n), b.Contains(n); got != want {
+				t.Fatalf("op %d: Contains(%d) %v vs %v", i, n, got, want)
+			}
+		case 3:
+			p.Clear()
+			b.Clear()
+		}
+		check("after op")
+	}
+	p.Release()
+	b.Release()
+	if psp.Bytes() != 0 {
+		t.Fatalf("packed space leaked %d bytes", psp.Bytes())
+	}
+}
+
+// FuzzPointerSetEquivalence drives packed sets and the boxed oracle with
+// arbitrary op streams over both full-map and bounded shapes — the
+// set-level counterpart of the whole-machine FuzzStorageModeEquivalence.
+func FuzzPointerSetEquivalence(f *testing.F) {
+	f.Add(byte(0), []byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 2, 3, 1, 2, 3, 0})
+	f.Add(byte(5), []byte{0, 9, 0, 8, 0, 7, 0, 6, 0, 5, 0, 4, 1, 9, 2, 5})
+	f.Add(byte(1), []byte{0, 1, 0, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, maxB byte, data []byte) {
+		pointerSetOps(t, maxB, data)
+	})
+}
+
+// Out-of-range node IDs and malformed-shape walks must flow through an
+// installed fault.Recorder as structured violations — the operation
+// becomes a benign no-op — and still panic (a protocol bug, not a modeled
+// fault) when no recorder is present. Covers both storage backends, since
+// the boxed BitVector has its own range check.
+func TestSpaceViolationsThroughRecorder(t *testing.T) {
+	for _, mode := range []StorageMode{StoragePacked, StorageBoxed} {
+		t.Run(mode.String(), func(t *testing.T) {
+			sp := NewSpace(16, mode)
+			var rec fault.Recorder
+			sp.SetRecorder(&rec)
+
+			s := sp.NewSet(4)
+			if s.Add(99) {
+				t.Error("out-of-range Add reported success")
+			}
+			if s.Len() != 0 {
+				t.Errorf("out-of-range Add mutated the set: len %d", s.Len())
+			}
+			s.Oldest() // empty bounded set: shape violation, not a panic
+			if rec.Len() < 2 {
+				t.Fatalf("recorded %d violations, want >= 2 (range + shape)", rec.Len())
+			}
+			kinds := map[string]bool{}
+			for _, v := range rec.Violations() {
+				kinds[v.Kind] = true
+			}
+			if !kinds["directory-range"] || !kinds["directory-shape"] {
+				t.Errorf("violation kinds = %v, want directory-range and directory-shape", kinds)
+			}
+
+			// Without a recorder the same misuse must panic.
+			bare := NewSpace(16, mode).NewSet(4)
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("out-of-range Add without a recorder did not panic")
+					}
+				}()
+				bare.Add(99)
+			}()
+		})
+	}
+}

@@ -27,6 +27,18 @@ type DirectoryMemory struct {
 	// vectors (bits), allocated in ordinary local memory only while a
 	// line's worker-set exceeds the hardware pointers.
 	SoftwareVectorBitsPeak int
+
+	// Storage names the simulator's own sharer-set representation
+	// ("packed" or "boxed"); the fields below measure it, as distinct
+	// from the modeled hardware cost above.
+	Storage string
+	// MeasuredBytes is the simulator's live directory storage: the
+	// per-entry set headers plus every spill word and boxed set in the
+	// arena, summed over all nodes.
+	MeasuredBytes int
+	// MeasuredBytesPerEntry is MeasuredBytes / Entries (0 when no entry
+	// was ever touched).
+	MeasuredBytesPerEntry float64
 }
 
 // log2up returns ceil(log2(n)) with a minimum of 1.
@@ -73,8 +85,10 @@ func (m *Machine) DirectoryMemory() DirectoryMemory {
 	per := bitsPerEntry(scheme, n, p)
 
 	entries := 0
+	measured := 0
 	for _, node := range m.Nodes {
 		entries += node.MC.Dir().Len()
+		measured += node.MC.Dir().SetBytes()
 	}
 	swPeak := 0
 	for _, node := range m.Nodes {
@@ -85,13 +99,19 @@ func (m *Machine) DirectoryMemory() DirectoryMemory {
 			swPeak += node.SWFull.Stats().MaxResident * n
 		}
 	}
-	return DirectoryMemory{
+	dm := DirectoryMemory{
 		Scheme:                 scheme,
 		Entries:                entries,
 		HardwareBitsPerEntry:   per,
 		HardwareBits:           entries * per,
 		SoftwareVectorBitsPeak: swPeak,
+		Storage:                m.cfg.Params.Storage.String(),
+		MeasuredBytes:          measured,
 	}
+	if entries > 0 {
+		dm.MeasuredBytesPerEntry = float64(measured) / float64(entries)
+	}
+	return dm
 }
 
 // BitsPerEntry exposes the per-entry cost model for a hypothetical

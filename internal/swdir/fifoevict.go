@@ -75,10 +75,7 @@ func (h *FIFOEvict) Handle(p *ipi.Packet) {
 	}
 	// Hardware-recorded pointers the handler has not seen arrive precede
 	// everything it has, in their own arrival order.
-	hw := e.Ptrs.Nodes()
-	if lim, ok := e.Ptrs.(*directory.Limited); ok {
-		hw = lim.InOrder()
-	}
+	hw := e.Ptrs.InOrder()
 	var unseen []mesh.NodeID
 	for _, n := range hw {
 		found := false

@@ -28,7 +28,7 @@ type PacketHandler interface {
 // waiting requester), mirroring the hardware convention.
 type SoftwareHandler struct {
 	mc      Controller
-	vectors map[directory.Addr]*directory.BitVector
+	vectors map[directory.Addr]*directory.SharerSet
 	stats   Stats
 	// observer is the profiling hook (Section 6): called once per handled
 	// packet with the line's worker-set size.
@@ -37,7 +37,7 @@ type SoftwareHandler struct {
 
 // NewSoftware returns a full-protocol software handler.
 func NewSoftware(mc Controller) *SoftwareHandler {
-	return &SoftwareHandler{mc: mc, vectors: make(map[directory.Addr]*directory.BitVector)}
+	return &SoftwareHandler{mc: mc, vectors: make(map[directory.Addr]*directory.SharerSet)}
 }
 
 // Stats returns a copy of the handler's counters.
@@ -63,10 +63,11 @@ func (h *SoftwareHandler) Covers(addr directory.Addr, n mesh.NodeID) bool {
 	return ok && v.Contains(n)
 }
 
-func (h *SoftwareHandler) vector(addr directory.Addr) *directory.BitVector {
+func (h *SoftwareHandler) vector(addr directory.Addr) *directory.SharerSet {
 	v, ok := h.vectors[addr]
 	if !ok {
-		v = directory.NewBitVector(h.mc.Nodes())
+		nv := h.mc.Dir().Space().NewSet(-1)
+		v = &nv
 		h.vectors[addr] = v
 		h.stats.VectorsAllocated++
 		if len(h.vectors) > h.stats.MaxResident {

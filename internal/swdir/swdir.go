@@ -65,9 +65,12 @@ type Stats struct {
 // Handler is the baseline LimitLESS trap handler.
 type Handler struct {
 	mc Controller
-	// vectors is the hash table of full-map bit vectors kept in the
-	// node's local memory (Section 4.4).
-	vectors map[directory.Addr]*directory.BitVector
+	// vectors is the hash table of full-map sharer sets kept in the
+	// node's local memory (Section 4.4). The sets draw their spill words
+	// from the same packed directory space as the hardware entries, so the
+	// software extension shares the arena, recorder, and storage-mode
+	// switch with the rest of the directory.
+	vectors map[directory.Addr]*directory.SharerSet
 	stats   Stats
 	// observer, when set, is invoked for every software-handled packet —
 	// the hook the profiling extension uses.
@@ -76,7 +79,7 @@ type Handler struct {
 
 // New returns a trap handler bound to a node's memory controller.
 func New(mc Controller) *Handler {
-	return &Handler{mc: mc, vectors: make(map[directory.Addr]*directory.BitVector)}
+	return &Handler{mc: mc, vectors: make(map[directory.Addr]*directory.SharerSet)}
 }
 
 // Stats returns a copy of the handler's counters.
@@ -119,10 +122,11 @@ func (h *Handler) Covers(addr directory.Addr, n mesh.NodeID) bool {
 }
 
 // vector returns (allocating on first use) the full-map vector for addr.
-func (h *Handler) vector(addr directory.Addr) *directory.BitVector {
+func (h *Handler) vector(addr directory.Addr) *directory.SharerSet {
 	v, ok := h.vectors[addr]
 	if !ok {
-		v = directory.NewBitVector(h.mc.Nodes())
+		nv := h.mc.Dir().Space().NewSet(-1)
+		v = &nv
 		h.vectors[addr] = v
 		h.stats.VectorsAllocated++
 		if len(h.vectors) > h.stats.MaxResident {
@@ -134,7 +138,7 @@ func (h *Handler) vector(addr directory.Addr) *directory.BitVector {
 
 // empty moves every hardware pointer (and the Local Bit) into the vector,
 // leaving the hardware array free to absorb more reads.
-func (h *Handler) empty(e *directory.Entry, v *directory.BitVector) {
+func (h *Handler) empty(e *directory.Entry, v *directory.SharerSet) {
 	for _, p := range e.Ptrs.Nodes() {
 		v.Add(p)
 	}
@@ -145,9 +149,11 @@ func (h *Handler) empty(e *directory.Entry, v *directory.BitVector) {
 	e.Local = false
 }
 
-// free discards the software vector for addr.
+// free discards the software vector for addr, returning its spill words
+// to the space.
 func (h *Handler) free(addr directory.Addr) {
-	if _, ok := h.vectors[addr]; ok {
+	if v, ok := h.vectors[addr]; ok {
+		v.Release()
 		delete(h.vectors, addr)
 		h.stats.VectorsFreed++
 	}

@@ -27,7 +27,7 @@ func newFake(nodes int, ptrs int) *fakeCtl {
 	return &fakeCtl{
 		id:    0,
 		nodes: nodes,
-		dir:   directory.NewStore(func() directory.PointerSet { return directory.NewLimited(ptrs) }),
+		dir:   directory.NewStore(directory.NewSpace(nodes, directory.StoragePacked), ptrs),
 	}
 }
 

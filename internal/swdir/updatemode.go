@@ -21,7 +21,7 @@ import (
 // invalidated, so producer/consumer data keeps its worker-set warm.
 type UpdateHandler struct {
 	mc      Controller
-	readers map[directory.Addr]*directory.BitVector
+	readers map[directory.Addr]*directory.SharerSet
 	stats   Stats
 	// Updates counts UPDD messages multicast.
 	Updates uint64
@@ -29,14 +29,15 @@ type UpdateHandler struct {
 
 // NewUpdate returns an update-mode handler.
 func NewUpdate(mc Controller) *UpdateHandler {
-	return &UpdateHandler{mc: mc, readers: make(map[directory.Addr]*directory.BitVector)}
+	return &UpdateHandler{mc: mc, readers: make(map[directory.Addr]*directory.SharerSet)}
 }
 
 // Register declares addr an update-mode block (Trap-Always at the home).
 // Callers must also mark the block update-mode in every cache controller
 // so stores travel as UWREQ; the machine package does both.
 func (h *UpdateHandler) Register(addr directory.Addr) {
-	h.readers[addr] = directory.NewBitVector(h.mc.Nodes())
+	v := h.mc.Dir().Space().NewSet(-1)
+	h.readers[addr] = &v
 	h.mc.Dir().Entry(addr).Meta = directory.TrapAlways
 }
 

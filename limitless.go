@@ -258,6 +258,15 @@ type Config struct {
 	// target assert it — so the choice affects only wall-clock speed,
 	// exactly like Scheduler.
 	TableMode string
+	// DirStorage selects the directory's sharer-set representation:
+	// "packed" (the default; node IDs inline in each entry, spilling to
+	// words bump-allocated from a per-store arena) or "boxed" (the original
+	// heap-allocated pointer-set objects, kept as the cross-checking
+	// oracle). The two are bit-identical in every cycle count and
+	// statistic — the storage differential tests and fuzz target assert
+	// it — so the choice affects only memory footprint, exactly like
+	// Scheduler and TableMode affect only wall-clock speed.
+	DirStorage string
 	// Faults is a deterministic fault-injection spec, "seed:key=value,...".
 	// Keys: delay/delaymax (per-packet delivery jitter), dup/dupdelay
 	// (duplicate deliveries), stall/stallperiod/stallcycles (link stall
@@ -312,11 +321,21 @@ func (c Config) shape() (w, h int, err error) {
 	return 1, n, nil
 }
 
+// MaxProcs is the largest machine the packed directory can address: node
+// IDs are stored as 16-bit values, so a configuration may not exceed
+// 65536 processors.
+const MaxProcs = directory.MaxNodes
+
 // build constructs the internal machine.
 func (c Config) build() (*machine.Machine, error) {
 	w, h, err := c.shape()
 	if err != nil {
 		return nil, err
+	}
+	if w*h > MaxProcs {
+		return nil, fmt.Errorf(
+			"limitless: %d processors exceed the packed directory's %d-node limit (node IDs are 16-bit); reduce Procs/Width*Height to at most %d",
+			w*h, MaxProcs, MaxProcs)
 	}
 	scheme, err := resolveScheme(c.Scheme)
 	if err != nil {
@@ -336,6 +355,11 @@ func (c Config) build() (*machine.Machine, error) {
 		return nil, fmt.Errorf("limitless: bad TableMode: %w", err)
 	}
 	params.TableMode = tm
+	st, err := directory.ParseStorageMode(c.DirStorage)
+	if err != nil {
+		return nil, fmt.Errorf("limitless: bad DirStorage: %w", err)
+	}
+	params.Storage = st
 	contexts := c.Contexts
 	if contexts <= 0 {
 		contexts = 1
@@ -447,6 +471,16 @@ type Result struct {
 	// DirectoryBitsPerEntry is the hardware directory cost of the chosen
 	// scheme at this machine size (the O(N) vs O(N^2) comparison).
 	DirectoryBitsPerEntry int
+	// DirectoryStorage names the simulator's sharer-set representation
+	// for the run ("packed" or "boxed"; see Config.DirStorage).
+	DirectoryStorage string
+	// DirectoryBytes is the simulator's measured directory footprint at
+	// the end of the run: per-entry set headers plus spill words (packed)
+	// or heap pointer-set objects (boxed), summed over all nodes.
+	DirectoryBytes int
+	// DirectoryBytesPerEntry is DirectoryBytes over the number of touched
+	// directory entries (0 when the run touched none).
+	DirectoryBytesPerEntry float64
 	// DupSuppressed counts fault-injected duplicate deliveries the
 	// controllers absorbed (always zero without a Faults spec).
 	DupSuppressed uint64
@@ -707,7 +741,11 @@ func finishResult(m *machine.Machine, r machine.Result) Result {
 		total := float64(int64(r.Cycles)) * float64(len(m.Nodes))
 		out.ProcessorUtilization = float64(int64(r.Proc.BusyCycles)) / total
 	}
-	out.DirectoryBitsPerEntry = m.DirectoryMemory().HardwareBitsPerEntry
+	dm := m.DirectoryMemory()
+	out.DirectoryBitsPerEntry = dm.HardwareBitsPerEntry
+	out.DirectoryStorage = dm.Storage
+	out.DirectoryBytes = dm.MeasuredBytes
+	out.DirectoryBytesPerEntry = dm.MeasuredBytesPerEntry
 	return out
 }
 

@@ -7,7 +7,8 @@
 # BenchmarkSimulatorThroughputInterp, the fault-injected twin
 # BenchmarkFaultedThroughput (full chaos mix with the reliable transport
 # armed; its point is tagged with the fault spec), the windowed sharded engine at
-# shards-4/8/16/64 plus the 256-processor BenchmarkShardedP256 scale point,
+# shards-4/8/16/64 plus the 256-processor BenchmarkShardedP256 and
+# 1024-processor BenchmarkShardedP1024 scale points,
 # five times each with allocation stats, plus the scheduler microbenchmarks
 # in internal/sim (BenchmarkSchedule, BenchmarkFireDrain: wheel vs heap,
 # near vs far deadline mixes), prints the raw `go test -bench` output, and
@@ -26,13 +27,15 @@
 #
 # Keeping one JSON file per run builds a throughput trajectory across PRs:
 # compare the `simcycles_s` and `allocs_per_op` fields of matching points
-# in successive files.
+# in successive files. Points whose benchmark reports the packed directory
+# footprint also carry `dir_bytes_per_entry`.
 #
 # With -compare FILE, the new point is additionally diffed against the
 # named earlier BENCH_*.json: for every benchmark present in both files
 # the simcycles/s regression must stay within BENCH_TOLERANCE_PCT
 # (default 5%) or the script exits non-zero; speedups are reported but
-# never fail. Use it to gate a refactor:
+# never fail. dir_bytes_per_entry is gated the same way in the opposite
+# direction: growth beyond the tolerance fails, shrinkage never does. Use it to gate a refactor:
 #
 #   scripts/bench.sh                          # before: records the baseline
 #   ... refactor ...
@@ -72,7 +75,7 @@ for g in 1 2 4; do
     fi
     echo "### gomaxprocs=$g" | tee -a "$out"
     GOMAXPROCS=$g go test -run '^$' \
-        -bench='ShardedThroughput/shards-(4|8|16|64)$|ShardedP256' \
+        -bench='ShardedThroughput/shards-(4|8|16|64)$|ShardedP(256|1024)$' \
         -benchmem -count=5 "$@" . | tee -a "$out"
 done
 
@@ -110,6 +113,7 @@ function flush_point() {
         engine = "windowed-sharded"
     }
     if (name ~ /^ShardedP256/) { shards = 16; engine = "windowed-sharded" }
+    if (name ~ /^ShardedP1024/) { shards = 64; engine = "windowed-sharded" }
     if (shards > 0) { workers = pg + 0; if (workers > shards) workers = shards }
     if (name ~ /^(Schedule|FireDrain)/) { engine = "scheduler-micro"; tmode = "none" }
     if (name ~ /Heap$/ || name ~ /\/heap\//) sched = "heap"
@@ -131,12 +135,13 @@ function flush_point() {
     printf "      \"events_per_s\": %.0f,\n", evps
     printf "      \"ns_per_op\": %.0f,\n", nsop
     printf "      \"bytes_per_op\": %.0f,\n", bytes
-    printf "      \"allocs_per_op\": %.0f\n", allocs
+    printf "      \"allocs_per_op\": %.0f,\n", allocs
+    printf "      \"dir_bytes_per_entry\": %.2f\n", dirbytes
     printf "    }"
-    best = 0; nsop = 0; n = 0; evps = 0
+    best = 0; nsop = 0; n = 0; evps = 0; dirbytes = 0
 }
 /^### gomaxprocs=/ { sub(/^### gomaxprocs=/, ""); g = $0 + 0; next }
-/^Benchmark(SimulatorThroughput|FaultedThroughput|ShardedThroughput|ShardedP256|Schedule|FireDrain)/ {
+/^Benchmark(SimulatorThroughput|FaultedThroughput|ShardedThroughput|ShardedP256|ShardedP1024|Schedule|FireDrain)/ {
     bench = $1
     sub(/^Benchmark/, "", bench)
     # Strip the trailing -GOMAXPROCS suffix Go appends when GOMAXPROCS > 1.
@@ -144,6 +149,7 @@ function flush_point() {
     if (bench != name || g + 0 != pg + 0) { flush_point(); name = bench; pg = g }
     for (i = 1; i <= NF; i++) {
         if ($i == "simcycles/s" && $(i-1) + 0 > best) best = $(i-1) + 0
+        if ($i == "dirbytes/entry") dirbytes = $(i-1) + 0
         if ($i == "events/s" && $(i-1) + 0 > evps) evps = $(i-1) + 0
         if ($i == "allocs/op") allocs = $(i-1) + 0
         if ($i == "B/op") bytes = $(i-1) + 0
@@ -176,6 +182,10 @@ if [ -n "$compare" ]; then
         if (FILENAME == ARGV[1]) old[name] = val($2) + 0
         else                     new[name] = val($2) + 0
     }
+    /"dir_bytes_per_entry":/ {
+        if (FILENAME == ARGV[1]) oldd[name] = val($2) + 0
+        else                     newd[name] = val($2) + 0
+    }
     END {
         status = 0
         for (b in old) {
@@ -188,6 +198,16 @@ if [ -n "$compare" ]; then
             if (delta > tol) verdict = "ok (faster)"
             if (delta < -tol) { verdict = "FAIL"; status = 1 }
             printf "  %-40s %12.0f -> %12.0f  %+6.1f%%  %s\n", b, old[b], new[b], delta, verdict
+        }
+        # Directory footprint gates in the opposite direction: growth past
+        # the tolerance is the regression.
+        for (b in oldd) {
+            if (oldd[b] <= 0 || !(b in newd)) continue
+            delta = (newd[b] - oldd[b]) * 100.0 / oldd[b]
+            verdict = "ok"
+            if (delta < -tol) verdict = "ok (leaner)"
+            if (delta > tol) { verdict = "FAIL"; status = 1 }
+            printf "  %-40s %9.1f B/e -> %9.1f B/e  %+6.1f%%  %s\n", b " (dir)", oldd[b], newd[b], delta, verdict
         }
         exit status
     }' "$compare" "BENCH_${stamp}.json"

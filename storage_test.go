@@ -1,0 +1,200 @@
+package limitless_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	limitless "limitless"
+)
+
+// stripStorage zeroes the fields that legitimately differ between the two
+// sharer-set backends — the storage label and the measured footprint — so
+// the remaining comparison covers every cycle count and protocol
+// statistic.
+func stripStorage(r limitless.Result) limitless.Result {
+	r.DirectoryStorage = ""
+	r.DirectoryBytes = 0
+	r.DirectoryBytesPerEntry = 0
+	return r
+}
+
+// runBothStorageModes executes cfg under packed and boxed sharer-set
+// storage and fails unless the two Results — cycle counts and all
+// statistics — are bit-identical once the storage-footprint fields are
+// stripped.
+func runBothStorageModes(t testing.TB, cfg limitless.Config, mk func() limitless.Workload, label string) {
+	cfg.DirStorage = "packed"
+	packed, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatalf("%s packed: %v", label, err)
+	}
+	cfg.DirStorage = "boxed"
+	boxed, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatalf("%s boxed: %v", label, err)
+	}
+	if stripStorage(packed) != stripStorage(boxed) {
+		t.Fatalf("%s: packed and boxed sharer-set storage disagree:\npacked: %+v\nboxed:  %+v",
+			label, packed, boxed)
+	}
+}
+
+// TestStorageModeEquivalence is the packed-directory analogue of the
+// wheel-vs-heap and compiled-vs-interp cross-checks: for every scheme and
+// for the sequential and sharded engines, the packed inline/arena sharer
+// sets must reproduce the boxed pointer-set oracle's results
+// bit-identically — same cycle count, same message counts, same traps,
+// same everything.
+func TestStorageModeEquivalence(t *testing.T) {
+	for _, scheme := range allSchemes(t) {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			for _, shards := range []int{0, 2, 4} {
+				cfg := limitless.Config{
+					Procs: 16, Scheme: scheme, Pointers: 4, TrapService: 50,
+					Verify: true, Shards: shards, ShardWorkers: 1,
+				}
+				label := fmt.Sprintf("%s/shards=%d", scheme, shards)
+				runBothStorageModes(t, cfg, func() limitless.Workload { return limitless.Weather(16) }, label)
+			}
+		})
+	}
+}
+
+// TestStorageModePins asserts the repo's canonical determinism pins hold
+// under BOTH storage backends: weather at P=16 must finish in exactly
+// 10423 cycles on the sequential engine and 10411 on the windowed sharded
+// engine, packed or boxed.
+func TestStorageModePins(t *testing.T) {
+	for _, storage := range []string{"packed", "boxed"} {
+		for _, tc := range []struct {
+			name   string
+			shards int
+			want   int64
+		}{
+			{"sequential", 0, 10423},
+			{"sharded-4", 4, 10411},
+		} {
+			cfg := limitless.Config{
+				Procs: 16, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50,
+				Verify: true, Shards: tc.shards, ShardWorkers: 1, DirStorage: storage,
+			}
+			res, err := limitless.Run(cfg, limitless.Weather(16))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", storage, tc.name, err)
+			}
+			if res.Cycles != tc.want {
+				t.Errorf("%s/%s: cycles = %d, want %d", storage, tc.name, res.Cycles, tc.want)
+			}
+			if res.DirectoryStorage != storage {
+				t.Errorf("%s/%s: DirectoryStorage = %q", storage, tc.name, res.DirectoryStorage)
+			}
+		}
+	}
+}
+
+// TestPackedStorageReducesFootprint is the tentpole's memory claim: on a
+// full-map machine the packed representation must measure at least 4x
+// smaller than the boxed pointer-set objects it replaces. Weather is the
+// paper's own workload mix — mostly small worker-sets, a few wide blocks
+// that spill — and the run is bit-deterministic, so the measured ratio
+// (4.10x at P=256) is stable, and it grows with P: a boxed full-map
+// vector costs 200 B/entry at P=1024 against the packed header's 24 B.
+// TestSpaceFootprintP1024 in internal/directory checks the P=1024 ratio
+// at the unit level; EXPERIMENTS.md records measured full-run numbers.
+func TestPackedStorageReducesFootprint(t *testing.T) {
+	base := limitless.Config{
+		Procs: 256, Scheme: limitless.FullMap, TrapService: 50, Verify: true,
+	}
+	mk := func() limitless.Workload { return limitless.Weather(256) }
+
+	cfg := base
+	cfg.DirStorage = "packed"
+	packed, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DirStorage = "boxed"
+	boxed, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.DirectoryBytes <= 0 || boxed.DirectoryBytes <= 0 {
+		t.Fatalf("measured footprints missing: packed=%d boxed=%d",
+			packed.DirectoryBytes, boxed.DirectoryBytes)
+	}
+	if ratio := float64(boxed.DirectoryBytes) / float64(packed.DirectoryBytes); ratio < 4 {
+		t.Errorf("full-map P=256: boxed %d B / packed %d B = %.2fx, want >= 4x",
+			boxed.DirectoryBytes, packed.DirectoryBytes, ratio)
+	}
+}
+
+// storageModeTrial builds one randomized configuration + workload pair
+// from four fuzz bytes and cross-checks the two storage backends on it.
+// Shared by the randomized test and the fuzz target.
+func storageModeTrial(t testing.TB, schemeB, wlB, shardsB, knobsB byte) {
+	schemes := allSchemes(t)
+	scheme := schemes[int(schemeB)%len(schemes)]
+	const procs = 16
+
+	var mk func() limitless.Workload
+	var wlName string
+	switch wlB % 4 {
+	case 0:
+		mk = func() limitless.Workload { return limitless.Weather(procs) }
+		wlName = "weather"
+	case 1:
+		mk = func() limitless.Workload { return limitless.Synthetic(procs, 2+int(knobsB)%8) }
+		wlName = "synthetic"
+	case 2:
+		mk = func() limitless.Workload { return limitless.Migratory(procs, 2) }
+		wlName = "migratory"
+	default:
+		mk = func() limitless.Workload { return limitless.Multigrid(procs) }
+		wlName = "multigrid"
+	}
+
+	cfg := limitless.Config{
+		Procs:       procs,
+		Scheme:      scheme,
+		Pointers:    1 + int(knobsB>>4)%4,
+		TrapService: 25 + int64(knobsB%4)*25,
+		ModifyGrant: knobsB&1 != 0,
+		Shards:      []int{0, 2, 4}[int(shardsB)%3],
+	}
+	if cfg.Shards > 0 {
+		cfg.ShardWorkers = 1
+	}
+	label := fmt.Sprintf("%s/%s/ptrs=%d/ts=%d/mg=%v/shards=%d",
+		scheme, wlName, cfg.Pointers, cfg.TrapService, cfg.ModifyGrant, cfg.Shards)
+	runBothStorageModes(t, cfg, mk, label)
+}
+
+// TestStorageModeEquivalenceRandom replays seeded random configurations
+// through both storage backends — the randomized counterpart of
+// FuzzStorageModeEquivalence, always on in `go test`.
+func TestStorageModeEquivalenceRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(0x9acced))
+	for round := 0; round < 12; round++ {
+		var b [4]byte
+		rng.Read(b[:])
+		storageModeTrial(t, b[0], b[1], b[2], b[3])
+	}
+}
+
+// FuzzStorageModeEquivalence lets the fuzzer drive the scheme, workload,
+// engine and protocol knobs; any reachable configuration must produce
+// bit-identical results under packed and boxed sharer-set storage.
+func FuzzStorageModeEquivalence(f *testing.F) {
+	f.Add(byte(2), byte(0), byte(0), byte(0x42)) // limitless/weather/sequential
+	f.Add(byte(0), byte(1), byte(1), byte(0x10)) // full-map/synthetic/sharded
+	f.Add(byte(5), byte(2), byte(2), byte(0xff)) // chained/migratory/4 shards
+	f.Add(byte(3), byte(3), byte(0), byte(0x07)) // software-only/multigrid
+	f.Fuzz(func(t *testing.T, schemeB, wlB, shardsB, knobsB byte) {
+		storageModeTrial(t, schemeB, wlB, shardsB, knobsB)
+	})
+}
