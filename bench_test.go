@@ -154,26 +154,34 @@ func BenchmarkAblationUpdateModeProducerConsumer(b *testing.B) {
 // --- Simulator throughput (engineering metric, not a paper figure) ---
 
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	benchThroughput(b, "", "")
+	benchThroughput(b, "", "", "")
+}
+
+// BenchmarkSimulatorThroughputEventProc is the same run with processors on
+// the event-per-instruction oracle path: the fused-vs-event gap on a whole
+// simulation, measured on the identical (bit-identical, by construction)
+// workload.
+func BenchmarkSimulatorThroughputEventProc(b *testing.B) {
+	benchThroughput(b, "", "", "event")
 }
 
 // BenchmarkSimulatorThroughputHeap is the same run on the binary-heap
 // oracle scheduler: the wheel-vs-heap gap on a whole simulation, measured
 // on the identical (bit-identical, by construction) workload.
 func BenchmarkSimulatorThroughputHeap(b *testing.B) {
-	benchThroughput(b, "heap", "")
+	benchThroughput(b, "heap", "", "")
 }
 
 // BenchmarkSimulatorThroughputInterp is the same run on the interpreted
 // protocol tables (the compiled dispatch's oracle): the compiled-vs-interp
 // gap on a whole simulation, again on a bit-identical workload.
 func BenchmarkSimulatorThroughputInterp(b *testing.B) {
-	benchThroughput(b, "", "interp")
+	benchThroughput(b, "", "interp", "")
 }
 
-func benchThroughput(b *testing.B, sched, tableMode string) {
+func benchThroughput(b *testing.B, sched, tableMode, procMode string) {
 	cfg := limitless.Config{Procs: benchProcs, Scheme: limitless.LimitLESS, Pointers: 4,
-		Scheduler: sched, TableMode: tableMode}
+		Scheduler: sched, TableMode: tableMode, ProcMode: procMode}
 	var cycles int64
 	var events uint64
 	var last limitless.Result

@@ -8,6 +8,7 @@
 //	        [-workerset 8] [-contexts 1] [-trace file] [-verify]
 //	        [-shards 0] [-shard-workers 0] [-window adaptive|fixed]
 //	        [-sched wheel|heap] [-table-mode compiled|interp]
+//	        [-proc-mode fused|event] [-dir-storage packed|boxed]
 //	        [-faults seed:key=value,...] [-watchdog cycles]
 //	        [-cpuprofile file] [-memprofile file]
 //	alewife -list-schemes
@@ -39,6 +40,7 @@ var (
 	windowFlag   = flag.String("window", "adaptive", "sharded window sizing: adaptive (slack-derived windows, default) or fixed (lockstep lookahead-width oracle; never changes results)")
 	schedFlag    = flag.String("sched", "wheel", "event scheduler: wheel (O(1) timing wheel, default) or heap (binary-heap oracle; never changes results)")
 	tableFlag    = flag.String("table-mode", "compiled", "protocol table dispatch: compiled (generated direct-threaded code, default) or interp (declarative-table oracle; never changes results)")
+	procFlag     = flag.String("proc-mode", "fused", "processor execution: fused (horizon-fused instruction chains, default) or event (event-per-instruction oracle; never changes results)")
 	storageFlag  = flag.String("dir-storage", "packed", "directory sharer-set storage: packed (inline + arena spill, default) or boxed (heap pointer-set oracle; never changes results)")
 	faultsFlag   = flag.String("faults", "", "deterministic fault injection, \"seed:key=value,...\" (keys: delay, delaymax, dup, dupdelay, stall, stallperiod, stallcycles, trap, trapextra, drop, corrupt, rto, rmax; drop/corrupt arm the reliable transport)")
 	watchdogFlag = flag.Int64("watchdog", 0, "halt with a diagnostic dump after this many cycles without forward progress (0 = off)")
@@ -104,6 +106,7 @@ func main() {
 		WindowMode:     *windowFlag,
 		Scheduler:      *schedFlag,
 		TableMode:      *tableFlag,
+		ProcMode:       *procFlag,
 		DirStorage:     *storageFlag,
 		Faults:         *faultsFlag,
 		WatchdogCycles: *watchdogFlag,
@@ -200,6 +203,9 @@ func main() {
 	}
 	if cfg.TableMode != "" && cfg.TableMode != "compiled" {
 		fmt.Printf("tables:    %s dispatch (results identical to the default compiled)\n", cfg.TableMode)
+	}
+	if cfg.ProcMode != "" && cfg.ProcMode != "fused" {
+		fmt.Printf("proc:      %s execution (results identical to the default fused)\n", cfg.ProcMode)
 	}
 	if faultSpec != "" {
 		fmt.Printf("faults:    %s\n", faultSpec)

@@ -107,9 +107,10 @@ type line struct {
 
 // Cache is one node's cache, indexed by block address.
 type Cache struct {
-	cfg   Config
-	sets  int
-	lines []line // sets * Ways, set-major
+	cfg     Config
+	sets    int
+	setMask int // sets-1 when sets is a power of two (every real geometry), else -1
+	lines   []line // sets * Ways, set-major
 	tick  uint64
 	stats Stats
 
@@ -153,7 +154,16 @@ func New(cfg Config) *Cache {
 	if cfg.BlockWords < 1 {
 		panic("cache: need at least one word per block")
 	}
-	return &Cache{cfg: cfg, sets: cfg.Lines / cfg.Ways, lines: newLines(cfg.Lines)}
+	sets := cfg.Lines / cfg.Ways
+	setMask := -1
+	if sets&(sets-1) == 0 {
+		// Power-of-two set count: index with a mask instead of the hardware
+		// divide a variable modulo compiles to — set selection runs on every
+		// access, making the divide one of the hottest instructions in the
+		// whole simulator.
+		setMask = sets - 1
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: setMask, lines: newLines(cfg.Lines)}
 }
 
 // Release zeroes every line this cache dirtied and returns the line array
@@ -196,9 +206,17 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// setIndex maps addr onto its set.
+func (c *Cache) setIndex(addr directory.Addr) int {
+	if c.setMask >= 0 {
+		return int(addr) & c.setMask
+	}
+	return int(addr) % c.sets
+}
+
 // set returns the ways of addr's set.
 func (c *Cache) set(addr directory.Addr) []line {
-	s := int(addr) % c.sets
+	s := c.setIndex(addr)
 	return c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
 }
 
@@ -303,7 +321,7 @@ func (c *Cache) Fill(addr directory.Addr, state LineState, value uint64) (v Vict
 		displaced = true
 		c.stats.Replacements++
 	}
-	c.recordFill((int(addr)%c.sets)*c.cfg.Ways + vi)
+	c.recordFill(c.setIndex(addr)*c.cfg.Ways + vi)
 	*victim = line{valid: true, tag: addr, state: state, value: value}
 	c.touch(victim)
 	return v, displaced

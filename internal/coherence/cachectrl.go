@@ -356,25 +356,38 @@ func (cc *CacheController) missOutcome(addr directory.Addr) Outcome {
 // full protocol transaction on a miss. The returned Outcome is known at
 // issue time and drives the processor's context-switch decision.
 func (cc *CacheController) Access(req Request) Outcome {
+	out, v := cc.AccessSync(req)
+	if out == OutcomeHit {
+		cc.complete(req, v, cc.params.Timing.CacheHit)
+	}
+	return out
+}
+
+// AccessSync is the synchronous form of Access: on a hit it performs the
+// cache update and returns the committed value instead of scheduling a
+// completion event, leaving delivery timing to the caller. The fused
+// processor path consumes the value inline after CacheHit cycles of its
+// own pipeline cursor; the event path schedules its completion handler at
+// the same deadline Access always used. Misses behave exactly as Access:
+// the transaction machinery is engaged and the value return is meaningless.
+func (cc *CacheController) AccessSync(req Request) (Outcome, uint64) {
 	// The private-only baseline never caches shared data: every shared
 	// reference is an uncached round trip to the home memory module.
 	if cc.sharedUncached && req.Shared {
-		return cc.uncached(req)
+		return cc.uncached(req), 0
 	}
 	// Update-mode stores carry their value to the home's software handler.
 	// The len guard keeps the map lookup off the hot path for the common
 	// case of no registered update-mode blocks.
 	if req.Op == Store && len(cc.updateMode) != 0 && cc.updateMode[req.Addr] {
-		return cc.uncached(req)
+		return cc.uncached(req), 0
 	}
 
-	hitTime := cc.params.Timing.CacheHit
 	switch req.Op {
 	case Load:
 		if v, hit := cc.cache.Read(req.Addr); hit {
 			cc.miss.Hits++
-			cc.complete(req, v, hitTime)
-			return OutcomeHit
+			return OutcomeHit, v
 		}
 	case Store:
 		if req.Modify != nil {
@@ -383,17 +396,20 @@ func (cc *CacheController) Access(req Request) Outcome {
 					panic("coherence: RMW write missed on owned line")
 				}
 				cc.miss.Hits++
-				cc.complete(req, old, hitTime)
-				return OutcomeHit
+				return OutcomeHit, old
 			}
 		} else if cc.cache.Write(req.Addr, req.Value) {
 			cc.miss.Hits++
-			cc.complete(req, req.Value, hitTime)
-			return OutcomeHit
+			return OutcomeHit, req.Value
 		}
 	}
 
-	// Miss: join an existing transaction for the block or start one.
+	return cc.accessMiss(req), 0
+}
+
+// accessMiss engages the MSHR machinery for a reference that missed:
+// it joins an existing transaction for the block or starts a new one.
+func (cc *CacheController) accessMiss(req Request) Outcome {
 	if t := cc.findTxn(req.Addr); t != nil {
 		t.queued = append(t.queued, req)
 		return cc.missOutcome(req.Addr)
@@ -405,7 +421,7 @@ func (cc *CacheController) Access(req Request) Outcome {
 		t.msg = cc.newMsg(Msg{Type: WREQ, Addr: req.Addr, Next: -1})
 	}
 	cc.txns = append(cc.txns, txnEntry{req.Addr, t})
-	cc.eng.AfterHandler(hitTime, &cc.sendH, t)
+	cc.eng.AfterHandler(cc.params.Timing.CacheHit, &cc.sendH, t)
 	return cc.missOutcome(req.Addr)
 }
 

@@ -54,6 +54,13 @@ type Config struct {
 	// order, so cycle counts are bit-identical under either; the heap
 	// exists as a cross-check oracle.
 	Scheduler sim.SchedulerKind
+	// ProcMode selects how processors advance through instruction chains:
+	// the default horizon-fused execution (proc.ModeFused) runs hit and
+	// compute chains synchronously below the engine's next-event horizon,
+	// while proc.ModeEvent schedules one event per pipeline step. Both
+	// produce bit-identical results; the event mode exists as a
+	// cross-check oracle.
+	ProcMode proc.Mode
 	// WindowMode selects how the sharded engine sizes its windows: the
 	// default slack-adaptive lookahead (sim.WindowAdaptive) or the
 	// fixed-width oracle (sim.WindowFixed). Both flush deferred sends in
@@ -245,6 +252,7 @@ func (m *Machine) buildNode(id mesh.NodeID) *Node {
 	c := cache.New(cache.Config{Lines: cfg.CacheLines, Ways: cfg.CacheWays, BlockWords: cfg.Params.BlockWords})
 	cc := coherence.NewCacheController(eng, port, id, cfg.Params, HomeOf, c)
 	p := proc.New(eng, cc, cfg.Params.Timing, cfg.Contexts)
+	p.SetMode(cfg.ProcMode)
 	mc := coherence.NewMemoryController(eng, port, id, cfg.Params, p)
 
 	node := &Node{ID: id, Cache: c, CC: cc, MC: mc, Proc: p}

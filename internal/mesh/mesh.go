@@ -23,6 +23,7 @@ package mesh
 
 import (
 	"fmt"
+	"math/bits"
 
 	"limitless/internal/fault"
 	"limitless/internal/sim"
@@ -190,6 +191,13 @@ type Network struct {
 	omegaStages, omegaWidth int
 	stats                   Stats
 
+	// widthShift/widthMask hold log2(Width) and Width-1 when the mesh width
+	// is a power of two (every square machine up to P=1024), replacing the
+	// hardware divide of the per-hop coordinate split; widthShift is -1
+	// otherwise.
+	widthShift int
+	widthMask  int
+
 	rng      uint64
 	pairLast map[uint64]sim.Time // last scheduled delivery per (src,dst)
 	inflight int                 // deliveries scheduled but not yet ejected
@@ -263,6 +271,11 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		rng:      seed,
 		pairLast: make(map[uint64]sim.Time),
 	}
+	nw.widthShift = -1
+	if w := cfg.Width; w&(w-1) == 0 {
+		nw.widthShift = bits.TrailingZeros(uint(w))
+		nw.widthMask = w - 1
+	}
 	if cfg.Topology == Omega {
 		width := 1
 		stages := 0
@@ -320,6 +333,9 @@ func (nw *Network) Register(id NodeID, h Handler) {
 
 // XY returns the mesh coordinates of a node.
 func (nw *Network) XY(id NodeID) (x, y int) {
+	if nw.widthShift >= 0 {
+		return int(id) & nw.widthMask, int(id) >> uint(nw.widthShift)
+	}
 	return int(id) % nw.cfg.Width, int(id) / nw.cfg.Width
 }
 

@@ -82,6 +82,48 @@ type Handler interface {
 	Handle(p *ipi.Packet)
 }
 
+// Mode selects how the processor advances through instruction chains.
+type Mode uint8
+
+const (
+	// ModeFused (the default) parks each pipeline continuation — cache
+	// hits, issue cycles, compute slices, context switches — as an engine
+	// pend: a direct-dispatch slot co-scheduled with the event queue in
+	// exact (deadline, sequence) order but never allocated, bucketed, or
+	// pooled as an event. Chains of pipeline work below the next event
+	// cycle run back-to-back through the engine's fuse loop, and a
+	// continuation that lands among same-cycle events dispatches at
+	// precisely the queue position its event twin would have occupied, so
+	// fused runs are bit-identical to the event path.
+	ModeFused Mode = iota
+	// ModeEvent schedules one engine event per pipeline step — the
+	// original event-per-instruction path, kept as a cross-checked oracle.
+	// It never changes results.
+	ModeEvent
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFused:
+		return "fused"
+	case ModeEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// ParseMode maps a CLI/config spelling to a Mode; "" selects the default.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "fused":
+		return ModeFused, nil
+	case "event":
+		return ModeEvent, nil
+	}
+	return 0, fmt.Errorf("unknown proc mode %q (want fused or event)", s)
+}
+
 // Stats counts processor activity.
 type Stats struct {
 	Instructions    uint64
@@ -113,10 +155,11 @@ type context struct {
 	prev  uint64
 
 	// Closure-free scheduling scratch. A context has at most one pending
-	// pipeline event (compute slice, issue, or switch-in), so one set of
-	// fields per context suffices.
+	// pipeline continuation (compute slice, issue, hit completion, or
+	// switch-in), so one set of fields per context suffices.
 	computeLeft sim.Time       // cycles of the current compute op still to burn
 	pendingOp   Op             // memory op parked across the one-cycle issue slot
+	hitVal      uint64         // committed value parked across the CacheHit latency
 	done        func(v uint64) // per-context completion callback, allocated once
 }
 
@@ -135,22 +178,54 @@ type Processor struct {
 	faults   *fault.Plan
 	contexts []*context
 	cur      int
+	mode     Mode
 	running  bool // an instruction chain is active
 	finished int
 	stats    Stats
 	onIdle   func() // invoked when all contexts finish
 
+	// The parked pipeline continuation (fused mode). Every pipeline step
+	// ends by handing exactly one continuation to sched, which parks it on
+	// the engine as simPend; the engine dispatches it in (deadline,
+	// sequence) order alongside the event queue. At most one continuation
+	// is ever outstanding — a chain is a chain — so a single slot
+	// suffices, and sched panics if it finds the slot occupied.
+	pend    pendAction
+	simPend *sim.Pend
+
 	// Pre-allocated sim.Handler adapters: one per event kind, so the hot
 	// loop schedules through AtHandler without allocating closures.
-	stepH    stepHandler
-	issueH   issueHandler
-	computeH computeHandler
-	trapH    trapHandler
+	stepH     stepHandler
+	issueH    issueHandler
+	computeH  computeHandler
+	completeH completeHandler
+	trapH     trapHandler
 }
 
+// pendKind names the four pipeline continuations a step can end with.
+type pendKind uint8
+
+const (
+	pendNone     pendKind = iota
+	pendStep              // run the context's next instruction (switch-in, post-compute)
+	pendIssue             // hand the parked memory op to the cache controller
+	pendCompute           // burn the next compute slice (or step if none left)
+	pendComplete          // commit the parked hit value after CacheHit cycles
+)
+
+// pendAction is one parked continuation: what to do and for whom (the
+// deadline lives on the engine-side pend).
+type pendAction struct {
+	kind pendKind
+	ctx  *context
+}
+
+// The event-mode handlers run one pipeline step per event.
 type stepHandler struct{ p *Processor }
 
-func (h *stepHandler) OnEvent(arg any) { h.p.step(arg.(*context)) }
+func (h *stepHandler) OnEvent(arg any) {
+	h.p.step(arg.(*context))
+}
 
 type issueHandler struct{ p *Processor }
 
@@ -165,9 +240,16 @@ func (h *computeHandler) OnEvent(arg any) {
 	c := arg.(*context)
 	if c.computeLeft > 0 {
 		h.p.compute(c, c.computeLeft)
-		return
+	} else {
+		h.p.step(c)
 	}
-	h.p.step(c)
+}
+
+type completeHandler struct{ p *Processor }
+
+func (h *completeHandler) OnEvent(arg any) {
+	c := arg.(*context)
+	c.done(c.hitVal)
 }
 
 type trapHandler struct{ p *Processor }
@@ -191,7 +273,9 @@ func New(eng *sim.Engine, cc *coherence.CacheController, timing coherence.Timing
 	p.stepH = stepHandler{p}
 	p.issueH = issueHandler{p}
 	p.computeH = computeHandler{p}
+	p.completeH = completeHandler{p}
 	p.trapH = trapHandler{p}
+	p.simPend = sim.NewPend(p.runPend)
 	p.contexts = make([]*context, nContexts)
 	for i := range p.contexts {
 		c := &context{state: ctxFinished}
@@ -218,6 +302,10 @@ func (p *Processor) Attach(mc *coherence.MemoryController, hnd Handler) {
 
 // Stats returns a copy of the processor counters.
 func (p *Processor) Stats() Stats { return p.stats }
+
+// SetMode selects fused or event-per-instruction execution. Call before
+// Start; the two modes produce bit-identical results.
+func (p *Processor) SetMode(m Mode) { p.mode = m }
 
 // SetFaultPlan installs a fault plan whose TrapSlowdown lengthens
 // individual trap-handler executions (modeling handler-time perturbation —
@@ -249,6 +337,69 @@ func (p *Processor) Start() {
 		panic("proc: Start on a running processor")
 	}
 	p.dispatch()
+}
+
+// sched parks the chain's one continuation. In event mode it schedules the
+// corresponding engine event immediately — byte-for-byte the event chain
+// this processor always ran. In fused mode it parks the engine pend
+// instead: same deadline, same sequence key, direct dispatch.
+func (p *Processor) sched(t sim.Time, k pendKind, c *context) {
+	if p.mode == ModeFused {
+		if p.pend.kind != pendNone {
+			panic("proc: pipeline continuation already parked")
+		}
+		p.pend = pendAction{kind: k, ctx: c}
+		p.eng.Park(p.simPend, t)
+		return
+	}
+	p.schedule(t, k, c)
+}
+
+// runPend is the engine-side pend dispatch: it pops the parked continuation
+// and executes it, exactly as the corresponding event handler would.
+func (p *Processor) runPend() {
+	a := p.pend
+	p.pend.kind = pendNone
+	p.exec(a.kind, a.ctx)
+}
+
+// schedule converts a continuation into its engine event. The deadlines
+// and handler identities match the pre-fusion event chain exactly, and a
+// fused run parks its fallback event at the same cycle the event mode
+// would have allocated it (the time of the chain's previous action), so
+// the two modes assign identical sequence keys.
+func (p *Processor) schedule(t sim.Time, k pendKind, c *context) {
+	switch k {
+	case pendStep:
+		p.eng.AtHandler(t, &p.stepH, c)
+	case pendIssue:
+		p.eng.AtHandler(t, &p.issueH, c)
+	case pendCompute:
+		p.eng.AtHandler(t, &p.computeH, c)
+	case pendComplete:
+		p.eng.AtHandler(t, &p.completeH, c)
+	default:
+		panic("proc: scheduling an empty continuation")
+	}
+}
+
+// exec performs one continuation — the same dispatch the event-mode
+// handlers perform when the corresponding event fires.
+func (p *Processor) exec(k pendKind, c *context) {
+	switch k {
+	case pendStep:
+		p.step(c)
+	case pendIssue:
+		p.issue(c, c.pendingOp)
+	case pendCompute:
+		if c.computeLeft > 0 {
+			p.compute(c, c.computeLeft)
+		} else {
+			p.step(c)
+		}
+	case pendComplete:
+		c.done(c.hitVal)
+	}
 }
 
 // ProtocolTrap implements coherence.TrapSink: the controller has pushed a
@@ -298,7 +449,7 @@ func (p *Processor) dispatch() {
 			p.cur = idx
 			start := p.pipe.Claim(p.eng.Now(), p.timing.ContextSwitch)
 			p.stats.BusyCycles += p.timing.ContextSwitch
-			p.eng.AtHandler(start+p.timing.ContextSwitch, &p.stepH, p.contexts[idx])
+			p.sched(start+p.timing.ContextSwitch, pendStep, p.contexts[idx])
 			return
 		}
 		p.cur = idx
@@ -339,7 +490,7 @@ func (p *Processor) step(c *context) {
 		p.stats.BusyCycles++
 		c.state = ctxBlocked
 		c.pendingOp = op
-		p.eng.AtHandler(start+1, &p.issueH, c)
+		p.sched(start+1, pendIssue, c)
 
 	default:
 		panic(fmt.Sprintf("proc: unknown op kind %v", op.Kind))
@@ -362,7 +513,7 @@ func (p *Processor) compute(c *context, remaining sim.Time) {
 	start := p.pipe.Claim(p.eng.Now(), slice)
 	p.stats.BusyCycles += slice
 	c.computeLeft = remaining - slice
-	p.eng.AtHandler(start+slice, &p.computeH, c)
+	p.sched(start+slice, pendCompute, c)
 }
 
 // issue hands a memory reference to the cache controller and decides
@@ -384,9 +535,17 @@ func (p *Processor) issue(c *context, op Op) {
 		req.Op = coherence.Store
 		req.Modify = op.Modify
 	}
-	outcome := p.cc.Access(req)
+	outcome, v := p.cc.AccessSync(req)
 
-	if outcome == coherence.OutcomeMissRemote && len(p.contexts) > 1 {
+	if outcome == coherence.OutcomeHit {
+		// The reference commits CacheHit cycles from now. Routing the
+		// completion through the processor's own continuation machinery —
+		// rather than the controller's pooled completion events — keeps the
+		// hot path on the fused run while the event oracle allocates its
+		// completion at the identical cycle with an identical sequence key.
+		c.hitVal = v
+		p.sched(p.eng.Now()+p.timing.CacheHit, pendComplete, c)
+	} else if outcome == coherence.OutcomeMissRemote && len(p.contexts) > 1 {
 		// "The Alewife processors rapidly schedule another process in
 		// place of the stalled process" — switch if anyone is ready.
 		p.dispatch()

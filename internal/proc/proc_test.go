@@ -300,3 +300,98 @@ func TestLongComputeDoesNotBlockTraps(t *testing.T) {
 		t.Fatalf("run ended at %d; traps waited for the long compute", trapDone)
 	}
 }
+
+// recordingWL is a script that also records the engine time of every Next
+// call — i.e. when each operation's result came back to the pipeline.
+type recordingWL struct {
+	eng   *sim.Engine
+	ops   []proc.Op
+	i     int
+	times []sim.Time
+}
+
+func (w *recordingWL) Next(prev uint64) (proc.Op, bool) {
+	w.times = append(w.times, w.eng.Now())
+	if w.i >= len(w.ops) {
+		return proc.Op{}, false
+	}
+	op := w.ops[w.i]
+	w.i++
+	return op, true
+}
+
+// runTrapBoundary drives the trap-interleave scenario under one execution
+// mode: node 0 starts a long compute at cycle 0 (slice boundaries at
+// multiples of the 16-cycle compute slice), node 1 takes the block's only
+// hardware pointer, and node 2 — after delay cycles of local work — reads
+// the same block, overflowing the directory and trapping node 0's
+// processor mid-compute. It returns the run's end time, the cycle node
+// 2's overflowing load completed, and node 0's serviced-trap count.
+func runTrapBoundary(t *testing.T, mode proc.Mode, delay sim.Time) (end, loadDone sim.Time, traps uint64) {
+	t.Helper()
+	params := coherence.DefaultParams(4)
+	params.Scheme = coherence.LimitLESS
+	params.Pointers = 1
+	r := newProcRig(t, 4, 1, params)
+	for _, p := range r.procs {
+		p.SetMode(mode)
+	}
+	r.procs[0].SetWorkload(0, &script{ops: []proc.Op{{Kind: proc.OpCompute, Cycles: 5000}}})
+	r.procs[1].SetWorkload(0, &script{ops: []proc.Op{
+		{Kind: proc.OpLoad, Addr: addr(0, 2), Shared: true},
+	}})
+	rec := &recordingWL{eng: r.eng, ops: []proc.Op{
+		{Kind: proc.OpCompute, Cycles: delay},
+		{Kind: proc.OpLoad, Addr: addr(0, 2), Shared: true},
+	}}
+	r.procs[2].SetWorkload(0, rec)
+	for _, p := range r.procs {
+		p.Start()
+	}
+	r.eng.Run()
+	if len(rec.times) == 0 {
+		t.Fatal("overflowing reader never ran")
+	}
+	return r.eng.Now(), rec.times[len(rec.times)-1], r.procs[0].Stats().TrapsServiced
+}
+
+// TestTrapClaimsNextSliceBoundary pins the synchronous-trap interleaving
+// contract in BOTH execution modes: a protocol trap arriving mid-compute
+// claims the pipeline at the next instruction-slice boundary — never
+// mid-slice, never deferred to the end of the compute. Two observables
+// capture it exactly:
+//
+//   - The overflowing reader's load-completion time is quantized to the
+//     16-cycle compute-slice grid: sweeping the trap packet's arrival
+//     across a slice leaves the completion unchanged (the trap waits for
+//     the boundary), and moving it into the next slice shifts the
+//     completion by exactly one slice.
+//   - The run ends at 5000 + TrapEntry + TrapService: the trap's cost is
+//     serialized into the compute (which must finish all 5000 cycles),
+//     and nothing waits for the compute to end.
+//
+// Fused execution threads this path through parked pends instead of
+// events, so every observable must also be bit-identical across modes.
+func TestTrapClaimsNextSliceBoundary(t *testing.T) {
+	params := coherence.DefaultParams(4)
+	wantEnd := 5000 + params.Timing.TrapEntry + params.Timing.TrapService
+	// Arrival-delay sweep: 34-46 land in one compute slice of the home
+	// node's 16-cycle grid; 30 hits the slice before, 50 the one after.
+	wantDone := map[sim.Time]sim.Time{30: 114, 34: 130, 38: 130, 42: 130, 46: 130, 50: 146}
+	for _, mode := range []proc.Mode{proc.ModeFused, proc.ModeEvent} {
+		for d, want := range wantDone {
+			end, done, traps := runTrapBoundary(t, mode, d)
+			if traps != 1 {
+				t.Fatalf("mode=%v delay=%d: %d traps serviced, want 1", mode, d, traps)
+			}
+			if end != wantEnd {
+				t.Errorf("mode=%v delay=%d: run ended at %d, want %d (compute + trap cost)",
+					mode, d, end, wantEnd)
+			}
+			if done != want {
+				t.Errorf("mode=%v delay=%d: overflowing load completed at %d, want %d (slice-boundary grid)",
+					mode, d, done, want)
+			}
+		}
+	}
+}

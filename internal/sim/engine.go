@@ -112,6 +112,8 @@ type Engine struct {
 	useHeap   bool
 	queued    int
 	processed uint64
+	inlined   uint64    // continuations dispatched through the pend path (subset of processed)
+	pq        pendQueue // parked inline continuations, co-scheduled with the event queue
 	free      []*Event // recycled events; see SetPooling
 	noPool    bool
 	batch     []any // reusable arg buffer for fireBatch (wheel batch dispatch)
@@ -138,6 +140,7 @@ type Engine struct {
 func New() *Engine {
 	e := &Engine{}
 	e.wh.init()
+	e.pq.minAt = Forever
 	return e
 }
 
@@ -220,17 +223,24 @@ func WindowSeq(cycle Time, flush bool, ctr uint32) uint64 {
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
-// Processed returns the number of events executed so far.
+// Processed returns the number of events executed so far. Pend dispatches
+// count too: a parked continuation is exactly the event it avoided
+// allocating, so the count stays an invariant measure of simulation
+// actions — identical whether processors run fused or event-per-step, and
+// independent of how shard windows cut the run.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return e.queued }
+// Pending returns the number of events still queued, parked pends included.
+func (e *Engine) Pending() int { return e.queued + e.pq.count }
 
-// NextEventTime returns the deadline of the earliest pending event. ok is
-// false when the queue is empty. On the wheel this is an O(1) occupancy-
-// bitmap probe, which is what lets guarded runs and the sharded window
-// driver skip dead cycles without touching individual events.
-func (e *Engine) NextEventTime() (t Time, ok bool) {
+// Inlined returns how many of the processed actions were dispatched through
+// the pend path rather than as scheduled events — the fused processor
+// path's event savings, reported by the throughput benchmarks.
+func (e *Engine) Inlined() uint64 { return e.inlined }
+
+// schedNext returns the deadline of the earliest pending event in the
+// active scheduler structure, ignoring parked pends.
+func (e *Engine) schedNext() (t Time, ok bool) {
 	if e.useHeap {
 		if len(e.heap) == 0 {
 			return 0, false
@@ -238,6 +248,174 @@ func (e *Engine) NextEventTime() (t Time, ok bool) {
 		return e.heap[0].at, true
 	}
 	return e.wh.next()
+}
+
+// NextEventTime returns the deadline of the earliest pending action —
+// scheduled event or parked pend. ok is false when nothing is pending. On
+// the wheel the event probe is an O(1) occupancy-bitmap scan, which is what
+// lets guarded runs and the sharded window driver skip dead cycles without
+// touching individual events.
+func (e *Engine) NextEventTime() (t Time, ok bool) {
+	t, ok = e.schedNext()
+	if e.pq.minAt < t || !ok && e.pq.count > 0 {
+		return e.pq.minAt, true
+	}
+	return t, ok
+}
+
+// Pend is a parked inline continuation: one future action co-scheduled with
+// the event queue in exact (deadline, sequence) order but dispatched through
+// a direct call — no event allocation, no bucket traffic, no pooled-object
+// recycling. A fused processor owns one Pend and re-parks it for every
+// pipeline step (issue cycles, hit completions, compute slices, context
+// switches), which removes the dominant event class from the scheduler
+// while preserving the bit-exact total order of the event-per-step path.
+type Pend struct {
+	at    Time
+	seq   uint64
+	next  *Pend // successor in its pend-ring slot (ascending seq)
+	index int   // ring slot or overflow-heap position; -1 when idle
+	loc   uint8 // pend-queue tier holding the pend (locRing / locOverflow)
+	fn    func()
+}
+
+// NewPend returns an idle pend that dispatches through fn.
+func NewPend(fn func()) *Pend { return &Pend{index: -1, fn: fn} }
+
+// Parked reports whether the pend is waiting in the engine.
+func (p *Pend) Parked() bool { return p.index >= 0 }
+
+// Park files p to run at cycle t. The pend receives the sequence key the
+// equivalent AtHandler call would have stamped on an event — it consumes
+// the same counter at the same execution point — so the engine's merged
+// dispatch order is indistinguishable from the all-events schedule. A pend
+// may be parked again from its own dispatch (that is the chain), but never
+// while it is already waiting.
+func (e *Engine) Park(p *Pend, t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: parking pend at %d before now %d", t, e.now))
+	}
+	if p.index >= 0 {
+		panic("sim: Park on an already-parked pend")
+	}
+	p.at = t
+	p.seq = e.nextSeq()
+	e.pq.park(e.now, p)
+}
+
+// firePend dispatches the earliest parked pend, advancing the clock to its
+// deadline. The caller guarantees a pend is parked and that no scheduled
+// event precedes it in (deadline, sequence) order.
+func (e *Engine) firePend() {
+	p := e.pq.popMin()
+	e.now = p.at
+	e.processed++
+	e.inlined++
+	p.fn()
+}
+
+// firePendRun dispatches the run of parked pends at cycle t with sequence
+// keys below seqLimit — the pends that precede the cycle's next scheduled
+// event. The caller guarantees the earliest pend is in the ring at cycle t
+// with seq < seqLimit. Sequence keys are allocated monotonically in wall
+// order, so anything a dispatch parks or schedules draws a key above
+// seqLimit and cannot enter the run: the slot list's head segment drains
+// with the queue bookkeeping paid once instead of once per pend.
+func (e *Engine) firePendRun(t Time, seqLimit uint64) {
+	q := &e.pq
+	if q.minP.loc != locRing {
+		e.firePend() // overflow-tier pend: rare, no run to batch
+		return
+	}
+	i := q.minP.index
+	s := &q.ring[i]
+	e.now = t
+	for {
+		p := s.head
+		if p == nil || p.seq >= seqLimit {
+			break
+		}
+		s.head = p.next
+		p.next = nil
+		p.index = -1
+		q.count--
+		e.processed++
+		e.inlined++
+		p.fn()
+	}
+	if s.head == nil {
+		s.tail = nil
+		q.occ &^= 1 << uint(i)
+	}
+	q.refreshMin(t)
+}
+
+// firePendTail dispatches pends parked at cycle t after the cycle's last
+// drained event, stopping when a dispatch schedules an event: the new event
+// may target t itself and must interleave with any pend parked after it in
+// sequence order, so the caller's drain loop re-takes control. (Today every
+// pend parks strictly in the future, making an out-of-order tail park
+// impossible, but the guard keeps the engine honest rather than relying on
+// that model property.)
+func (e *Engine) firePendTail(t Time) {
+	q := &e.pq
+	if q.minP.loc != locRing {
+		e.firePend()
+		return
+	}
+	i := q.minP.index
+	s := &q.ring[i]
+	e.now = t
+	qd := e.queued
+	for {
+		p := s.head
+		if p == nil {
+			break
+		}
+		s.head = p.next
+		p.next = nil
+		p.index = -1
+		q.count--
+		e.processed++
+		e.inlined++
+		p.fn()
+		if e.queued != qd {
+			break
+		}
+	}
+	if s.head == nil {
+		s.tail = nil
+		q.occ &^= 1 << uint(i)
+	}
+	q.refreshMin(t)
+}
+
+// fireSlot dispatches the earliest parked pend's whole cohort — every pend
+// sharing its deadline — in ascending sequence order. The caller guarantees
+// the cohort precedes every scheduled event. Anything a dispatch schedules
+// at the cohort's own cycle carries a strictly larger sequence key than
+// every remaining cohort member (keys are allocated monotonically, and the
+// cohort's keys were all drawn before its first dispatch), so the detached
+// list drains without re-probing the event queue and the total (deadline,
+// sequence) order is preserved exactly. This is the pend analog of the
+// wheel's per-cycle bucket batch: the queue bookkeeping — occupancy bit,
+// cached minimum — is paid once per cohort instead of once per pend.
+func (e *Engine) fireSlot() {
+	if e.pq.minP.loc != locRing {
+		e.firePend() // overflow-tier pend: rare, no cohort to batch
+		return
+	}
+	p := e.pq.detachMinSlot()
+	e.now = p.at
+	for p != nil {
+		nxt := p.next
+		p.next = nil
+		p.index = -1
+		e.processed++
+		e.inlined++
+		p.fn()
+		p = nxt
+	}
 }
 
 // allocEvent takes an event from the free list (or the heap allocator) and
@@ -258,20 +436,28 @@ func (e *Engine) allocEvent(t Time) *Event {
 	return ev
 }
 
-// alloc stamps a fresh event with deadline t and the next sequence number.
-func (e *Engine) alloc(t Time) *Event {
-	ev := e.allocEvent(t)
+// nextSeq draws the next sequence key: cycle-tagged in windowed mode,
+// plain monotone otherwise. Events and parked pends share the counter, so
+// the merged dispatch order is identical to the all-events schedule.
+func (e *Engine) nextSeq() uint64 {
 	if e.cycleSeq {
 		if e.now != e.seqCycle {
 			e.seqCycle = e.now
 			e.cycleCtr = 0
 		}
-		ev.seq = WindowSeq(e.now, false, e.cycleCtr)
+		s := WindowSeq(e.now, false, e.cycleCtr)
 		e.cycleCtr++
-	} else {
-		ev.seq = e.seq
-		e.seq++
+		return s
 	}
+	s := e.seq
+	e.seq++
+	return s
+}
+
+// alloc stamps a fresh event with deadline t and the next sequence number.
+func (e *Engine) alloc(t Time) *Event {
+	ev := e.allocEvent(t)
+	ev.seq = e.nextSeq()
 	return ev
 }
 
@@ -368,17 +554,31 @@ func (e *Engine) Cancel(r EventRef) {
 	e.release(r.ev)
 }
 
-// Step executes the single earliest pending event, advancing the clock to
-// its deadline. It reports false when no events remain. The event object is
-// recycled before the callback runs, so the callback can immediately
-// schedule into the freed slot.
+// Step executes the single earliest pending action — scheduled event or
+// parked pend — advancing the clock to its deadline. It reports false when
+// nothing remains. The event object is recycled before the callback runs,
+// so the callback can immediately schedule into the freed slot.
 func (e *Engine) Step() bool {
 	if !e.useHeap {
 		return e.stepWheel()
 	}
 	if len(e.heap) == 0 {
-		return false
+		if e.pq.count == 0 {
+			return false
+		}
+		e.firePend()
+		return true
 	}
+	if e.pq.minAt < e.heap[0].at || (e.pq.minAt == e.heap[0].at && e.pq.minSeq < e.heap[0].seq) {
+		e.firePend()
+		return true
+	}
+	e.stepHeapEvent()
+	return true
+}
+
+// stepHeapEvent pops and fires the heap's earliest event unconditionally.
+func (e *Engine) stepHeapEvent() {
 	ev := e.heap.pop()
 	e.queued--
 	e.now = ev.at
@@ -390,7 +590,6 @@ func (e *Engine) Step() bool {
 	} else {
 		fn()
 	}
-	return true
 }
 
 // Run executes events until the queue drains and returns the final time.
@@ -415,10 +614,36 @@ func (e *Engine) RunUntil(limit Time) Time {
 		e.runWheel()
 		return e.now
 	}
-	for len(e.heap) > 0 && e.heap[0].at <= e.runLimit {
-		e.Step()
-	}
+	e.runHeap()
 	return e.now
+}
+
+// runHeap is the heap scheduler's run loop: it merges the event heap and
+// the pend heap in (deadline, sequence) order, dispatching whichever is
+// earlier until both are past the run limit. It returns the next pending
+// deadline (Forever when everything drained), mirroring runWheel.
+func (e *Engine) runHeap() Time {
+	for {
+		var next Time
+		var pend bool
+		switch {
+		case len(e.heap) == 0 && e.pq.count == 0:
+			return Forever
+		case len(e.heap) == 0 || e.pq.minAt < e.heap[0].at ||
+			(e.pq.minAt == e.heap[0].at && e.pq.minSeq < e.heap[0].seq):
+			next, pend = e.pq.minAt, true
+		default:
+			next = e.heap[0].at
+		}
+		if next > e.runLimit {
+			return next
+		}
+		if pend {
+			e.firePend()
+		} else {
+			e.stepHeapEvent()
+		}
+	}
 }
 
 // RunUntilNext is RunUntil fused with the follow-up NextEventTime probe:
@@ -431,13 +656,7 @@ func (e *Engine) RunUntilNext(limit Time) Time {
 	if !e.useHeap {
 		return e.runWheel()
 	}
-	for len(e.heap) > 0 && e.heap[0].at <= e.runLimit {
-		e.Step()
-	}
-	if len(e.heap) == 0 {
-		return Forever
-	}
-	return e.heap[0].at
+	return e.runHeap()
 }
 
 // ClampRunLimit lowers the limit of the RunUntil currently in progress to
@@ -469,10 +688,10 @@ func (e *Engine) Abort() {
 // Aborted reports whether Abort was called.
 func (e *Engine) Aborted() bool { return e.abort }
 
-// RunWhile executes events for as long as cond returns true and events
-// remain. cond is evaluated before each event.
+// RunWhile executes events for as long as cond returns true and work
+// remains. cond is evaluated before each action.
 func (e *Engine) RunWhile(cond func() bool) Time {
-	for e.queued > 0 && cond() {
+	for e.Pending() > 0 && cond() {
 		e.Step()
 	}
 	return e.now

@@ -258,6 +258,17 @@ type Config struct {
 	// target assert it — so the choice affects only wall-clock speed,
 	// exactly like Scheduler.
 	TableMode string
+	// ProcMode selects how processors advance through instruction chains:
+	// "fused" (the default; runs of cache hits, issue cycles, and compute
+	// slices execute synchronously, advancing a pipeline cursor strictly
+	// below the engine's next-event horizon, with exactly one scheduled
+	// event per run as the fallback) or "event" (the original
+	// event-per-instruction path kept as the cross-checking oracle). The
+	// two are bit-identical in every cycle count and statistic — the
+	// proc-mode differential tests and fuzz target assert it — so the
+	// choice affects only wall-clock speed, exactly like Scheduler and
+	// TableMode.
+	ProcMode string
 	// DirStorage selects the directory's sharer-set representation:
 	// "packed" (the default; node IDs inline in each entry, spilling to
 	// words bump-allocated from a per-store arena) or "boxed" (the original
@@ -372,8 +383,12 @@ func (c Config) build() (*machine.Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("limitless: bad WindowMode: %w", err)
 	}
+	pm, err := proc.ParseMode(c.ProcMode)
+	if err != nil {
+		return nil, fmt.Errorf("limitless: bad ProcMode: %w", err)
+	}
 	mc := machine.Config{Width: w, Height: h, Contexts: contexts, Params: params, CacheWays: c.CacheWays,
-		DisableEventPool: c.DisableEventPool, Scheduler: sched, WindowMode: wm,
+		DisableEventPool: c.DisableEventPool, Scheduler: sched, WindowMode: wm, ProcMode: pm,
 		Shards: c.Shards, ShardWorkers: c.ShardWorkers,
 		Watchdog: sim.Time(c.WatchdogCycles)}
 	if c.Faults != "" {

@@ -1,0 +1,152 @@
+package limitless_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	limitless "limitless"
+)
+
+// runBothProcModes executes cfg under fused and event-per-instruction
+// processor execution and fails unless every field of the two Results —
+// cycle counts and all statistics — is bit-identical.
+func runBothProcModes(t testing.TB, cfg limitless.Config, mk func() limitless.Workload, label string) {
+	cfg.ProcMode = "fused"
+	fused, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatalf("%s fused: %v", label, err)
+	}
+	cfg.ProcMode = "event"
+	event, err := limitless.Run(cfg, mk())
+	if err != nil {
+		t.Fatalf("%s event: %v", label, err)
+	}
+	if fused != event {
+		t.Fatalf("%s: fused and event-per-instruction execution disagree:\nfused: %+v\nevent: %+v",
+			label, fused, event)
+	}
+}
+
+// TestProcModeEquivalence is the fused-execution analogue of the
+// wheel-vs-heap and compiled-vs-interp cross-checks: for every scheme and
+// for the sequential and sharded engines, dispatching processor pipeline
+// steps through parked pends must reproduce the event-per-instruction
+// oracle's results bit-identically — same cycle count, same message
+// counts, same traps, same Events, same everything.
+func TestProcModeEquivalence(t *testing.T) {
+	for _, scheme := range allSchemes(t) {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			for _, shards := range []int{0, 2, 4} {
+				cfg := limitless.Config{
+					Procs: 16, Scheme: scheme, Pointers: 4, TrapService: 50,
+					Verify: true, Shards: shards, ShardWorkers: 1,
+				}
+				label := fmt.Sprintf("%s/shards=%d", scheme, shards)
+				runBothProcModes(t, cfg, func() limitless.Workload { return limitless.Weather(16) }, label)
+			}
+		})
+	}
+}
+
+// TestProcModePins asserts the repo's canonical determinism pins hold
+// under BOTH processor execution modes: weather at P=16 must finish in
+// exactly 10423 cycles on the sequential engine and 10411 on the windowed
+// sharded engine, fused or event-per-instruction.
+func TestProcModePins(t *testing.T) {
+	for _, mode := range []string{"fused", "event"} {
+		for _, tc := range []struct {
+			name   string
+			shards int
+			want   int64
+		}{
+			{"sequential", 0, 10423},
+			{"sharded-4", 4, 10411},
+		} {
+			cfg := limitless.Config{
+				Procs: 16, Scheme: limitless.LimitLESS, Pointers: 4, TrapService: 50,
+				Verify: true, Shards: tc.shards, ShardWorkers: 1, ProcMode: mode,
+			}
+			res, err := limitless.Run(cfg, limitless.Weather(16))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mode, tc.name, err)
+			}
+			if res.Cycles != tc.want {
+				t.Errorf("%s/%s: cycles = %d, want %d", mode, tc.name, res.Cycles, tc.want)
+			}
+		}
+	}
+}
+
+// procModeTrial builds one randomized configuration + workload pair from
+// four fuzz bytes and cross-checks the two execution modes on it. Shared
+// by the randomized test and the fuzz target. The knob byte also drives
+// Contexts so multi-context switching — the pipeline path fused execution
+// shares with the trap machinery — is exercised, not just the single-
+// context fast path.
+func procModeTrial(t testing.TB, schemeB, wlB, shardsB, knobsB byte) {
+	schemes := allSchemes(t)
+	scheme := schemes[int(schemeB)%len(schemes)]
+	const procs = 16
+
+	var mk func() limitless.Workload
+	var wlName string
+	switch wlB % 4 {
+	case 0:
+		mk = func() limitless.Workload { return limitless.Weather(procs) }
+		wlName = "weather"
+	case 1:
+		mk = func() limitless.Workload { return limitless.Synthetic(procs, 2+int(knobsB)%8) }
+		wlName = "synthetic"
+	case 2:
+		mk = func() limitless.Workload { return limitless.Migratory(procs, 2) }
+		wlName = "migratory"
+	default:
+		mk = func() limitless.Workload { return limitless.Multigrid(procs) }
+		wlName = "multigrid"
+	}
+
+	cfg := limitless.Config{
+		Procs:       procs,
+		Scheme:      scheme,
+		Pointers:    1 + int(knobsB>>4)%4,
+		TrapService: 25 + int64(knobsB%4)*25,
+		Contexts:    1 + int(knobsB>>2)%2,
+		Shards:      []int{0, 2, 4}[int(shardsB)%3],
+	}
+	if cfg.Shards > 0 {
+		cfg.ShardWorkers = 1
+	}
+	label := fmt.Sprintf("%s/%s/ptrs=%d/ts=%d/ctx=%d/shards=%d",
+		scheme, wlName, cfg.Pointers, cfg.TrapService, cfg.Contexts, cfg.Shards)
+	runBothProcModes(t, cfg, mk, label)
+}
+
+// TestProcModeEquivalenceRandom replays seeded random configurations
+// through both execution modes — the randomized counterpart of
+// FuzzProcModeEquivalence, always on in `go test`.
+func TestProcModeEquivalenceRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(0x9200de))
+	for round := 0; round < 12; round++ {
+		var b [4]byte
+		rng.Read(b[:])
+		procModeTrial(t, b[0], b[1], b[2], b[3])
+	}
+}
+
+// FuzzProcModeEquivalence lets the fuzzer drive the scheme, workload,
+// engine and protocol knobs; any reachable configuration must produce
+// bit-identical results under fused and event-per-instruction execution.
+func FuzzProcModeEquivalence(f *testing.F) {
+	f.Add(byte(2), byte(0), byte(0), byte(0x42)) // limitless/weather/sequential
+	f.Add(byte(0), byte(1), byte(1), byte(0x10)) // full-map/synthetic/sharded
+	f.Add(byte(5), byte(2), byte(2), byte(0xff)) // chained/migratory/4 shards
+	f.Add(byte(3), byte(3), byte(0), byte(0x07)) // software-only/multigrid
+	f.Fuzz(func(t *testing.T, schemeB, wlB, shardsB, knobsB byte) {
+		procModeTrial(t, schemeB, wlB, shardsB, knobsB)
+	})
+}

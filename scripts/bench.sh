@@ -4,7 +4,10 @@
 # Runs BenchmarkSimulatorThroughput (the sequential 64-processor LimitLESS(4)
 # Weather run in bench_test.go), its binary-heap-scheduler twin
 # BenchmarkSimulatorThroughputHeap, its interpreted-protocol-table twin
-# BenchmarkSimulatorThroughputInterp, the fault-injected twin
+# BenchmarkSimulatorThroughputInterp, its event-per-instruction twin
+# BenchmarkSimulatorThroughputEventProc (the fused-execution oracle; its
+# point is tagged proc_mode "event" against the default "fused"), the
+# fault-injected twin
 # BenchmarkFaultedThroughput (full chaos mix with the reliable transport
 # armed; its point is tagged with the fault spec), the windowed sharded engine at
 # shards-4/8/16/64 plus the 256-processor BenchmarkShardedP256 and
@@ -34,7 +37,10 @@
 # named earlier BENCH_*.json: for every benchmark present in both files
 # the simcycles/s regression must stay within BENCH_TOLERANCE_PCT
 # (default 5%) or the script exits non-zero; speedups are reported but
-# never fail. dir_bytes_per_entry is gated the same way in the opposite
+# never fail. Scheduler microbenchmarks report no simulation rate
+# (simcycles_s 0), so their points gate on ns_per_op instead — growth
+# beyond the tolerance fails, speedups never do. dir_bytes_per_entry is
+# gated the same way in the opposite
 # direction: growth beyond the tolerance fails, shrinkage never does. Use it to gate a refactor:
 #
 #   scripts/bench.sh                          # before: records the baseline
@@ -105,7 +111,7 @@ BEGIN {
 function flush_point() {
     if (name == "") return
     shards = 0; workers = 1; engine = "sequential"; sched = "wheel"
-    tmode = "compiled"; faults = ""
+    tmode = "compiled"; pmode = "fused"; faults = ""
     # Keep in sync with the spec in BenchmarkFaultedThroughput.
     if (name ~ /^FaultedThroughput/) faults = "42:delay=0.05,dup=0.02,stall=0.1,trap=0.1,drop=0.02,corrupt=0.01"
     if (match(name, /shards-[0-9]+/)) {
@@ -115,9 +121,10 @@ function flush_point() {
     if (name ~ /^ShardedP256/) { shards = 16; engine = "windowed-sharded" }
     if (name ~ /^ShardedP1024/) { shards = 64; engine = "windowed-sharded" }
     if (shards > 0) { workers = pg + 0; if (workers > shards) workers = shards }
-    if (name ~ /^(Schedule|FireDrain)/) { engine = "scheduler-micro"; tmode = "none" }
+    if (name ~ /^(Schedule|FireDrain)/) { engine = "scheduler-micro"; tmode = "none"; pmode = "none" }
     if (name ~ /Heap$/ || name ~ /\/heap\//) sched = "heap"
     if (name ~ /Interp$/) tmode = "interp"
+    if (name ~ /EventProc$/) pmode = "event"
     key = name
     if (pg + 0 > 1) key = name "@g" pg
     if (np++) printf ",\n"
@@ -126,6 +133,7 @@ function flush_point() {
     printf "      \"engine\": \"%s\",\n", engine
     printf "      \"scheduler\": \"%s\",\n", sched
     printf "      \"table_mode\": \"%s\",\n", tmode
+    printf "      \"proc_mode\": \"%s\",\n", pmode
     printf "      \"faults\": \"%s\",\n", faults
     printf "      \"shards\": %d,\n", shards
     printf "      \"workers\": %d,\n", workers
@@ -182,6 +190,10 @@ if [ -n "$compare" ]; then
         if (FILENAME == ARGV[1]) old[name] = val($2) + 0
         else                     new[name] = val($2) + 0
     }
+    /"ns_per_op":/ {
+        if (FILENAME == ARGV[1]) oldns[name] = val($2) + 0
+        else                     newns[name] = val($2) + 0
+    }
     /"dir_bytes_per_entry":/ {
         if (FILENAME == ARGV[1]) oldd[name] = val($2) + 0
         else                     newd[name] = val($2) + 0
@@ -190,9 +202,18 @@ if [ -n "$compare" ]; then
         status = 0
         for (b in old) {
             if (!(b in new)) { printf "  %-40s missing from new run\n", b; continue }
-            # Microbenchmark points carry simcycles_s 0; they are recorded
-            # for the trajectory but not gated.
-            if (old[b] <= 0) continue
+            if (old[b] <= 0) {
+                # Scheduler microbenchmarks report no simulation rate; gate
+                # their latency instead — ns/op growth past the tolerance is
+                # the regression, shrinkage never fails.
+                if (!(b in oldns) || oldns[b] <= 0 || newns[b] <= 0) continue
+                delta = (newns[b] - oldns[b]) * 100.0 / oldns[b]
+                verdict = "ok"
+                if (delta < -tol) verdict = "ok (faster)"
+                if (delta > tol) { verdict = "FAIL"; status = 1 }
+                printf "  %-40s %9.0f ns -> %9.0f ns  %+6.1f%%  %s\n", b, oldns[b], newns[b], delta, verdict
+                continue
+            }
             delta = (new[b] - old[b]) * 100.0 / old[b]
             verdict = "ok"
             if (delta > tol) verdict = "ok (faster)"
